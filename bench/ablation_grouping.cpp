@@ -1,0 +1,76 @@
+// Ablation (beyond the paper's tables; motivated by §V-C): what does each
+// ingredient of the grouping policy buy? Air-FedGA is run with four
+// different groupings on the same workload:
+//   Alg. 3           — the full objective (time + EMD + aggregation error)
+//   TiFL tiers       — time-only quantile tiers
+//   random           — data-balanced but time-oblivious groups
+//   single group     — no grouping (synchronous corner, Corollary 2)
+
+#include "common.hpp"
+#include "core/grouping.hpp"
+#include "sim/cluster.hpp"
+
+int main() {
+  using namespace airfedga;
+  const std::size_t workers = 60;
+
+  bench::Experiment base(data::make_mnist_like(3000, 800, 9), workers,
+                         [] { return ml::make_mlp(784, 10, 64); });
+  base.cfg.learning_rate = 1.0f;
+  base.cfg.batch_size = 0;
+  base.cfg.time_budget = 9000.0;
+  base.cfg.eval_every = 10;
+  base.cfg.eval_samples = 500;
+
+  sim::ClusterModel cluster(workers, base.cfg.cluster);
+  const auto lt = cluster.local_times();
+  data::DataStats stats(base.train, base.cfg.partition);
+
+  // Reference Alg. 3 run fixes the group count for the ablations.
+  fl::AirFedGA reference;
+  const fl::Metrics ref_run = reference.run(base.cfg);
+  const std::size_t m = reference.groups().size();
+
+  util::Rng rng(99);
+  struct Variant {
+    std::string name;
+    std::optional<data::WorkerGroups> groups;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"Alg.3 (full)", std::nullopt});
+  variants.push_back({"TiFL tiers", core::tifl_grouping(lt, m)});
+  variants.push_back({"random", core::random_grouping(workers, m, rng)});
+  data::WorkerGroups one(1);
+  for (std::size_t w = 0; w < workers; ++w) one[0].push_back(w);
+  variants.push_back({"single group", one});
+
+  util::Table t({"grouping", "groups", "mean EMD", "avg round(s)", "t@80%(s)", "t@85%(s)",
+                 "final acc"});
+  for (auto& v : variants) {
+    fl::Metrics res;
+    data::WorkerGroups groups;
+    if (v.groups) {
+      fl::AirFedGA::Options opts;
+      opts.groups_override = *v.groups;
+      fl::AirFedGA m2(opts);
+      res = m2.run(base.cfg);
+      groups = *v.groups;
+    } else {
+      res = ref_run;
+      groups = reference.groups();
+    }
+    auto cell = [&](double target) {
+      const double tt = res.time_to_accuracy(target);
+      return tt < 0 ? std::string("-") : util::Table::fmt(tt, 0);
+    };
+    t.add_row({v.name, util::Table::fmt_int(static_cast<long long>(groups.size())),
+               util::Table::fmt(stats.mean_emd(groups), 3),
+               util::Table::fmt(res.average_round_time(), 2), cell(0.80), cell(0.85),
+               util::Table::fmt(res.final_accuracy(), 4)});
+  }
+
+  std::printf("=== Ablation: grouping policy under Air-FedGA aggregation ===\n");
+  t.print(std::cout);
+  t.write_csv(bench::results_dir() + "/ablation_grouping.csv");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 4 reproduction: Loss/Accuracy vs. time, CNN on MNIST-like images,
+// Dynamic vs Air-FedAvg vs Air-FedGA.
+//
+// Scale-down vs. paper: the CNN keeps the paper's topology (two 5x5 conv
+// blocks + two dense layers) at width_scale 0.15 (~31k parameters), and
+// mini-batch local steps replace the full local gradient to fit the CPU
+// budget. Wireless/heterogeneity parameters are the paper's.
+
+#include "common.hpp"
+
+int main() {
+  using namespace airfedga;
+  const double horizon = 5000.0;
+
+  bench::Experiment exp(data::make_mnist_image_like(6000, 1000, 2), /*workers=*/100,
+                        [] { return ml::make_cnn_mnist(0.15, 28); });
+  exp.cfg.learning_rate = 0.03f;
+  exp.cfg.batch_size = 16;
+  exp.cfg.local_steps = 3;
+  exp.cfg.time_budget = horizon;
+  exp.cfg.eval_every = 10;
+  exp.cfg.eval_samples = 500;
+
+  fl::DynamicAirComp dynamic;
+  fl::AirFedAvg airfedavg;
+  fl::AirFedGA airfedga;
+
+  std::vector<std::string> names = {"Dynamic", "Air-FedAvg", "Air-FedGA"};
+  std::vector<fl::Metrics> runs;
+  runs.push_back(dynamic.run(exp.cfg));
+  runs.push_back(airfedavg.run(exp.cfg));
+  runs.push_back(airfedga.run(exp.cfg));
+
+  bench::print_curves("Fig. 4: CNN on MNIST-like, loss/accuracy vs time", names, runs,
+                      /*step=*/250.0, horizon);
+  // Targets scaled to the CPU-budget trajectory (the paper's GPU runs put
+  // 80/85/90% inside 5000 s; our from-scratch CNN reaches the low 60s).
+  std::printf("\n--- time to stable accuracy ---\n");
+  bench::print_time_to_accuracy(names, runs, {0.40, 0.50, 0.60});
+  bench::dump_csv("fig04", names, runs);
+  return 0;
+}

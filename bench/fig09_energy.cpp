@@ -1,0 +1,74 @@
+// Fig. 9 reproduction: cumulative over-the-air aggregation energy (Eq. 7)
+// consumed before reaching each accuracy target, for the three AirComp
+// mechanisms, on the MNIST-like (left panel) and CIFAR-10-like (right
+// panel) workloads.
+//
+// Paper shape: Air-FedAvg cheapest (fewest aggregations per worker),
+// Air-FedGA slightly above it (asynchronous groups aggregate more often),
+// Dynamic clearly worst (its data-agnostic subsets need many more rounds).
+
+#include "common.hpp"
+
+namespace {
+
+using namespace airfedga;
+
+void panel(const char* title, bench::Experiment& exp, const std::vector<double>& targets,
+           const std::string& stem) {
+  exp.cfg.stop_at_accuracy = targets.back() + 0.015;
+
+  fl::AirFedAvg airfedavg;
+  fl::AirFedGA airfedga;
+  fl::DynamicAirComp dynamic;
+  std::vector<std::string> names = {"Air-FedAvg", "Air-FedGA", "Dynamic"};
+  std::vector<fl::Metrics> runs;
+  runs.push_back(airfedavg.run(exp.cfg));
+  runs.push_back(airfedga.run(exp.cfg));
+  runs.push_back(dynamic.run(exp.cfg));
+
+  std::printf("\n=== Fig. 9 (%s): aggregation energy to reach accuracy ===\n", title);
+  util::Table t([&] {
+    std::vector<std::string> h = {"mechanism"};
+    for (double target : targets) h.push_back("E@" + util::Table::fmt(100 * target, 0) + "% (J)");
+    return h;
+  }());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::vector<std::string> cells = {names[i]};
+    for (double target : targets) {
+      const double e = runs[i].energy_to_accuracy(target);
+      cells.push_back(e < 0 ? "-" : util::Table::fmt(e, 0));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  t.write_csv(bench::results_dir() + "/" + stem + ".csv");
+}
+
+}  // namespace
+
+int main() {
+  {
+    bench::Experiment exp(data::make_mnist_like(5000, 800, 6), /*workers=*/100,
+                          [] { return ml::make_mlp(784, 10, 64); });
+    exp.cfg.learning_rate = 1.0f;
+    exp.cfg.batch_size = 0;
+    exp.cfg.time_budget = 10000.0;
+    exp.cfg.eval_every = 5;
+    exp.cfg.eval_samples = 500;
+    panel("MLP on MNIST-like", exp, {0.80, 0.85, 0.88}, "fig09_mnist");
+  }
+  {
+    // CNN panel trimmed (horizon + targets) to fit the CPU budget; the
+    // ordering is established long before the paper's 55% plateau.
+    bench::Experiment exp(data::make_cifar10_like(5000, 800, 7), /*workers=*/100,
+                          [] { return ml::make_cnn_cifar(0.2, 16); });
+    exp.cfg.learning_rate = 0.03f;
+    exp.cfg.batch_size = 16;
+    exp.cfg.local_steps = 2;
+    exp.cfg.time_budget = 3000.0;
+    exp.cfg.eval_every = 10;
+    exp.cfg.eval_samples = 400;
+    panel("CNN on CIFAR-10-like", exp, {0.25, 0.30, 0.35}, "fig09_cifar");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Non-IID grouping walkthrough: shows how the worker grouping algorithm
+// (Alg. 3) organizes a label-skewed federation, what the earth-mover
+// distance (Eq. 11) of each policy looks like, and how the Dirichlet
+// partitioner (extension) interpolates between IID and hard label skew.
+//
+//   $ ./noniid_grouping
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/grouping.hpp"
+#include "data/data_stats.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "sim/cluster.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace airfedga;
+  const std::size_t workers = 50;
+
+  auto ds = data::make_synthetic_flat(32, {workers * 40, 10, 1.0, 0.3, 21});
+  sim::ClusterModel cluster(workers, {.base_seconds = 6.0, .kappa_min = 1.0,
+                                      .kappa_max = 10.0, .seed = 22});
+  const auto lt = cluster.local_times();
+
+  std::printf("Partitioning %zu samples over %zu workers, 10 classes\n\n", ds.size(), workers);
+
+  // --- Part 1: partition policies and their per-worker skew. ---
+  util::Table part_table({"partitioner", "mean worker EMD", "comment"});
+  struct Policy {
+    const char* name;
+    data::Partition partition;
+    const char* comment;
+  };
+  util::Rng rng(23);
+  std::vector<Policy> policies;
+  policies.push_back({"IID", data::partition_iid(ds, workers, rng), "uniform shards"});
+  policies.push_back({"label skew (paper)", data::partition_label_skew(ds, workers, rng),
+                      "one class per worker"});
+  policies.push_back({"Dirichlet(0.3)", data::partition_dirichlet(ds, workers, 0.3, rng),
+                      "soft skew (extension)"});
+  for (auto& p : policies) {
+    data::DataStats st(ds, p.partition);
+    double acc = 0.0;
+    std::size_t nonempty = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (st.worker_size(w) == 0) continue;
+      acc += st.worker_emd(w);
+      ++nonempty;
+    }
+    part_table.add_row({p.name, util::Table::fmt(acc / static_cast<double>(nonempty), 3),
+                        p.comment});
+  }
+  part_table.print(std::cout);
+
+  // --- Part 2: grouping the label-skewed federation. ---
+  data::DataStats stats(ds, policies[1].partition);
+  core::GroupingConfig gcfg;
+  gcfg.xi = 0.3;
+  gcfg.aircomp_upload_seconds = 0.01;
+  gcfg.convergence.model_bound_sq = 50.0;
+  const auto res = core::airfedga_grouping(stats, lt, gcfg);
+
+  std::printf("\nAlg. 3 grouping at xi = 0.3 -> %zu groups, mean EMD %.3f "
+              "(singletons would be 1.8)\n\n",
+              res.groups.size(), res.mean_emd);
+
+  util::Table group_table({"group", "workers", "D_j", "L_j(s)", "EMD"});
+  for (std::size_t j = 0; j < res.groups.size(); ++j) {
+    group_table.add_row({util::Table::fmt_int(static_cast<long long>(j)),
+                         util::Table::fmt_int(static_cast<long long>(res.groups[j].size())),
+                         util::Table::fmt_int(static_cast<long long>(stats.group_size(res.groups[j]))),
+                         util::Table::fmt(res.group_times[j], 1),
+                         util::Table::fmt(stats.emd(res.groups[j]), 3)});
+  }
+  group_table.print(std::cout);
+
+  const auto tifl = core::tifl_grouping(lt, res.groups.size());
+  std::printf("\nTiFL tiers with the same group count: mean EMD %.3f — time-homogeneous\n"
+              "but label-blind; Alg. 3 gets the same time windows with better mixing.\n",
+              stats.mean_emd(tifl));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Power-control walkthrough (Alg. 2): how the per-round transmit scaling
+// factor sigma_t and the PS denoising factor eta_t react to the energy
+// budget and the channel, and what that does to one actual over-the-air
+// aggregation.
+//
+//   $ ./power_control_demo
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "channel/aircomp.hpp"
+#include "channel/fading.hpp"
+#include "core/power_control.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace airfedga;
+  const std::size_t q = 10000;   // model dimension
+  const std::size_t m = 10;      // group size
+  const double d_i = 100.0;      // samples per worker
+
+  // A fixed fading draw for the group.
+  channel::FadingChannel fading(m, {.rayleigh_scale = 0.7979, .min_gain = 0.15, .seed = 31});
+  const auto gains = fading.gains(/*round=*/0);
+
+  // A synthetic "local model" per worker with norm^2 ~ 600 (Assumption 4).
+  util::Rng rng(32);
+  std::vector<std::vector<float>> models(m);
+  for (auto& w : models) {
+    w.resize(q);
+    for (auto& v : w) v = static_cast<float>(rng.normal(0.0, std::sqrt(600.0 / q)));
+  }
+
+  std::printf("Alg. 2 on a %zu-worker group, q = %zu, sigma0^2 = 1 W\n\n", m, q);
+  util::Table t({"E_cap (J)", "sigma*", "eta*", "sigma/sqrt(eta)", "C_t", "iters",
+                 "max E_i (J)", "agg RMSE"});
+
+  for (double cap : {0.1, 1.0, 10.0, 100.0}) {
+    core::PowerControlInput in;
+    in.model_bound_sq = 600.0;
+    in.sigma0_sq = 1.0;
+    in.group_data = d_i * static_cast<double>(m);
+    in.gains = gains;
+    in.data_sizes.assign(m, d_i);
+    in.energy_caps.assign(m, cap);
+    const auto pc = core::optimize_power(in);
+
+    // Run the aggregation with these factors and compare against the
+    // error-free Eq. 8 result.
+    channel::AirCompChannel ch({.sigma0_sq = 1.0, .seed = 33});
+    channel::AirCompChannel::Input ain;
+    std::vector<float> w_prev(q, 0.0f);
+    ain.w_prev = w_prev;
+    for (auto& w : models) ain.local_models.push_back(w);
+    ain.data_sizes.assign(m, d_i);
+    ain.gains = gains;
+    ain.sigma = pc.sigma;
+    ain.eta = pc.eta;
+    ain.total_data = in.group_data;  // single-group federation for the demo
+    const auto out = ch.aggregate(ain);
+    const auto ideal = channel::AirCompChannel::ideal_aggregate(
+        w_prev, ain.local_models, ain.data_sizes, ain.total_data);
+
+    double mse = 0.0;
+    for (std::size_t i = 0; i < q; ++i) {
+      const double diff = static_cast<double>(out.w_next[i]) - ideal[i];
+      mse += diff * diff;
+    }
+    double max_e = 0.0;
+    for (double e : out.energies) max_e = std::max(max_e, e);
+
+    t.add_row({util::Table::fmt(cap, 1), util::Table::fmt(pc.sigma, 6),
+               util::Table::fmt(pc.eta, 8), util::Table::fmt(pc.sigma / std::sqrt(pc.eta), 4),
+               util::Table::fmt(pc.error, 5), util::Table::fmt_int(pc.iterations),
+               util::Table::fmt(max_e, 2), util::Table::fmt(std::sqrt(mse), 5)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading the table: a tight energy budget forces sigma below the\n"
+      "noise-optimal point, the denoiser compensates (sigma/sqrt(eta) < 1 would\n"
+      "bias the update, so eta tracks sigma^2), and the residual error C_t —\n"
+      "and the measured aggregation RMSE — fall as the budget grows. Every\n"
+      "worker stays within its per-round energy cap (Eq. 36c).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace airfedga::channel {
+
+/// Over-the-air model aggregation over a noisy fading MAC (paper §III-B4).
+///
+/// Participating workers pre-equalize their transmissions with
+/// p_i_t = d_i * sigma_t / h_i_t (Eq. 6), so the superimposed received
+/// signal is y_t = sum_i d_i sigma_t w_i_t + z_t (Eq. 9). The PS estimate
+/// of the global model is
+///   w_t = (1 - beta_jt) w_{t-1} + y_t / (D sqrt(eta_t))     (Eq. 10).
+///
+/// Noise convention: the paper's error term C_t (Eq. 30) charges the noise
+/// sigma0^2 / (D_jt^2 eta_t) once per aggregation, i.e. sigma0^2 is the
+/// *total* AWGN energy of the vector z_t. We therefore draw z_t with
+/// per-component variance sigma0^2 / q, making E||z_t||^2 = sigma0^2 for
+/// any model dimension q.
+class AirCompChannel {
+ public:
+  struct Config {
+    double sigma0_sq = 1.0;  ///< total AWGN energy per aggregation (W)
+    std::uint64_t seed = 11;
+  };
+
+  explicit AirCompChannel(Config cfg);
+
+  struct Input {
+    std::span<const float> w_prev;                   ///< w_{t-1}
+    std::vector<std::span<const float>> local_models;  ///< w^i_t, group order
+    std::vector<double> data_sizes;                  ///< d_i
+    std::vector<double> gains;                       ///< h^i_t
+    double sigma = 1.0;                              ///< power scaling sigma_t
+    double eta = 1.0;                                ///< denoising factor eta_t
+    double total_data = 1.0;                         ///< D
+  };
+
+  struct Output {
+    std::vector<float> w_next;       ///< PS estimate w_t (Eq. 10)
+    std::vector<double> energies;    ///< per-worker E^i_t (Eq. 7)
+    double noise_energy = 0.0;       ///< ||z_t||^2 actually drawn
+    double beta = 0.0;               ///< beta_jt = D_jt / D
+  };
+
+  /// Performs one over-the-air aggregation round.
+  Output aggregate(const Input& in);
+
+  /// Error-free ideal aggregation (Eq. 8); used by the OMA mechanisms and
+  /// by tests as ground truth.
+  static std::vector<float> ideal_aggregate(std::span<const float> w_prev,
+                                            const std::vector<std::span<const float>>& local_models,
+                                            const std::vector<double>& data_sizes,
+                                            double total_data);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  util::Rng rng_;
+};
+
+/// Transmission energy of one worker for one aggregation (Eq. 7):
+/// E = || p w ||^2 = (d * sigma / h)^2 * ||w||^2.
+double transmit_energy(double data_size, double sigma, double gain,
+                       std::span<const float> model);
+
+}  // namespace airfedga::channel

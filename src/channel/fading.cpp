@@ -1,0 +1,44 @@
+#include "channel/fading.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace airfedga::channel {
+
+FadingChannel::FadingChannel(std::size_t num_workers, Config cfg) : n_(num_workers), cfg_(cfg) {
+  if (num_workers == 0) throw std::invalid_argument("FadingChannel: zero workers");
+  if (cfg.rayleigh_scale <= 0.0) throw std::invalid_argument("FadingChannel: scale must be > 0");
+  if (cfg.min_gain < 0.0) throw std::invalid_argument("FadingChannel: min_gain must be >= 0");
+  if (cfg.pathloss_exponent < 0.0)
+    throw std::invalid_argument("FadingChannel: path-loss exponent must be >= 0");
+  if (cfg.pathloss_exponent > 0.0 &&
+      (cfg.distance_min <= 0.0 || cfg.distance_max < cfg.distance_min))
+    throw std::invalid_argument("FadingChannel: bad distance range");
+
+  large_scale_.assign(n_, 1.0);
+  if (cfg.pathloss_exponent > 0.0) {
+    util::Rng rng = util::Rng(cfg.seed).fork(0xD157);
+    for (auto& s : large_scale_) {
+      const double dist = rng.uniform(cfg.distance_min, cfg.distance_max);
+      s = std::pow(dist, -cfg.pathloss_exponent / 2.0);
+    }
+  }
+}
+
+std::vector<double> FadingChannel::gains(std::size_t round) const {
+  // One deterministic sub-stream per round keeps the block-fading property
+  // (constant within a round) without storing any history.
+  util::Rng rng = util::Rng(cfg_.seed).fork(0xC0FFEE + round);
+  std::vector<double> h(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    h[i] = std::max(cfg_.min_gain, large_scale_[i] * rng.rayleigh(cfg_.rayleigh_scale));
+  return h;
+}
+
+double FadingChannel::gain(std::size_t worker, std::size_t round) const {
+  if (worker >= n_) throw std::out_of_range("FadingChannel::gain: worker out of range");
+  return gains(round)[worker];
+}
+
+}  // namespace airfedga::channel

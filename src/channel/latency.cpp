@@ -1,0 +1,27 @@
+#include "channel/latency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace airfedga::channel {
+
+LatencyModel::LatencyModel(LatencyConfig cfg) : cfg_(cfg) {
+  if (cfg.sub_channels == 0) throw std::invalid_argument("LatencyModel: zero sub-channels");
+  if (cfg.symbol_seconds <= 0.0) throw std::invalid_argument("LatencyModel: bad symbol time");
+  if (cfg.oma_rate_bps <= 0.0) throw std::invalid_argument("LatencyModel: bad OMA rate");
+  if (cfg.bits_per_param <= 0.0) throw std::invalid_argument("LatencyModel: bad bits/param");
+}
+
+double LatencyModel::aircomp_upload_seconds(std::size_t q) const {
+  const double symbols = std::ceil(static_cast<double>(q) /
+                                   static_cast<double>(cfg_.sub_channels));
+  return symbols * cfg_.symbol_seconds;
+}
+
+double LatencyModel::oma_upload_seconds(std::size_t q, std::size_t uploaders) const {
+  const double per_worker =
+      static_cast<double>(q) * cfg_.bits_per_param / cfg_.oma_rate_bps;
+  return per_worker * static_cast<double>(uploaders);
+}
+
+}  // namespace airfedga::channel

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+namespace airfedga::channel {
+
+/// Uplink latency model for both access schemes (paper §V-A).
+///
+/// AirComp (analog NOMA): all group members transmit concurrently; the
+/// aggregation takes L_u = ceil(q / R) * L_s seconds (Eq. 33) regardless of
+/// how many workers participate — that is the whole point of AirComp.
+///
+/// OMA (TDMA): uploads are serialized; each worker needs
+/// q * bits_per_param / rate seconds, and a round with n uploaders pays n
+/// times that. This is the linear-in-N scaling the paper's Fig. 10 shows
+/// for FedAvg/TiFL.
+/// Note on OMA multiplexing: the paper cites both TDMA and OFDMA baselines
+/// ([5]-[9]). With equal model payloads the two are duration-equivalent —
+/// serializing n uploads at full rate takes exactly as long as n parallel
+/// uploads at rate/n — so a single `oma_upload_seconds` covers both, and
+/// the linear-in-n scaling (the property Fig. 10 probes) is inherent to
+/// orthogonal access, not to the schedule.
+struct LatencyConfig {
+  std::size_t sub_channels = 1024;      ///< R
+  double symbol_seconds = 71.4e-6;      ///< L_s (LTE OFDM symbol duration)
+  double oma_rate_bps = 1.0e6;          ///< B * spectral efficiency (B = 1 MHz)
+  double bits_per_param = 32.0;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig cfg = {});
+
+  /// L_u for a model with q parameters (Eq. 33). Independent of group size.
+  [[nodiscard]] double aircomp_upload_seconds(std::size_t q) const;
+
+  /// Serialized OMA upload time for `uploaders` workers sending q params each.
+  [[nodiscard]] double oma_upload_seconds(std::size_t q, std::size_t uploaders) const;
+
+  [[nodiscard]] const LatencyConfig& config() const { return cfg_; }
+
+ private:
+  LatencyConfig cfg_;
+};
+
+}  // namespace airfedga::channel

@@ -1,0 +1,152 @@
+#include "core/convergence.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace airfedga::core {
+
+void ConvergenceConfig::validate() const {
+  if (mu <= 0.0 || smooth_l <= 0.0) throw std::invalid_argument("ConvergenceConfig: mu, L > 0");
+  if (mu > smooth_l) throw std::invalid_argument("ConvergenceConfig: mu must be <= L");
+  if (gamma <= 1.0 / (2.0 * smooth_l) || gamma >= 1.0 / smooth_l)
+    throw std::invalid_argument("ConvergenceConfig: gamma must lie in (1/(2L), 1/L)");
+  if (grad_bound_sq <= 0.0 || model_bound_sq <= 0.0)
+    throw std::invalid_argument("ConvergenceConfig: bounds must be > 0");
+  if (sigma0_sq < 0.0) throw std::invalid_argument("ConvergenceConfig: sigma0_sq >= 0");
+  if (initial_gap <= 0.0 || epsilon <= 0.0)
+    throw std::invalid_argument("ConvergenceConfig: gaps must be > 0");
+}
+
+double aggregation_error(double sigma, double eta, double model_bound_sq, double sigma0_sq,
+                         double group_data) {
+  if (sigma <= 0.0 || eta <= 0.0) throw std::invalid_argument("aggregation_error: sigma, eta > 0");
+  if (group_data <= 0.0) throw std::invalid_argument("aggregation_error: group_data > 0");
+  const double bias = sigma / std::sqrt(eta) - 1.0;
+  return bias * bias * model_bound_sq + sigma0_sq / (group_data * group_data * eta);
+}
+
+std::vector<double> participation_frequencies(std::span<const double> group_times) {
+  if (group_times.empty()) throw std::invalid_argument("participation_frequencies: no groups");
+  std::vector<double> psi(group_times.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < group_times.size(); ++j) {
+    if (group_times[j] <= 0.0)
+      throw std::invalid_argument("participation_frequencies: non-positive round time");
+    psi[j] = 1.0 / group_times[j];
+    total += psi[j];
+  }
+  for (auto& p : psi) p /= total;
+  return psi;
+}
+
+double average_round_time(std::span<const double> group_times) {
+  if (group_times.empty()) throw std::invalid_argument("average_round_time: no groups");
+  double inv_sum = 0.0;
+  for (double lj : group_times) {
+    if (lj <= 0.0) throw std::invalid_argument("average_round_time: non-positive round time");
+    inv_sum += 1.0 / lj;
+  }
+  return 1.0 / inv_sum;
+}
+
+double estimated_max_staleness(std::span<const double> group_times) {
+  if (group_times.empty()) throw std::invalid_argument("estimated_max_staleness: no groups");
+  double inv_sum = 0.0;
+  double lmax = 0.0;
+  for (double lj : group_times) {
+    if (lj <= 0.0) throw std::invalid_argument("estimated_max_staleness: non-positive round time");
+    inv_sum += 1.0 / lj;
+    lmax = std::max(lmax, lj);
+  }
+  return lmax * inv_sum;
+}
+
+double lemma1_rho(double x, double y, double tau_max) {
+  if (x < 0.0 || y < 0.0 || x + y >= 1.0)
+    throw std::invalid_argument("lemma1_rho: need x, y >= 0 and x + y < 1");
+  if (tau_max < 0.0) throw std::invalid_argument("lemma1_rho: tau_max >= 0");
+  return std::pow(x + y, 1.0 / (1.0 + tau_max));
+}
+
+double lemma1_delta(double x, double y, double z) {
+  if (x < 0.0 || y < 0.0 || x + y >= 1.0 || z < 0.0)
+    throw std::invalid_argument("lemma1_delta: need x, y, z >= 0 and x + y < 1");
+  return z / (1.0 - x - y);
+}
+
+namespace {
+double psi_beta_sum(std::span<const GroupPlan> groups) {
+  std::vector<double> times(groups.size());
+  for (std::size_t j = 0; j < groups.size(); ++j) times[j] = groups[j].round_time;
+  const auto psi = participation_frequencies(times);
+  double s = 0.0;
+  for (std::size_t j = 0; j < groups.size(); ++j) s += psi[j] * groups[j].beta;
+  return s;
+}
+}  // namespace
+
+double contraction_base(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups) {
+  cfg.validate();
+  if (groups.empty()) throw std::invalid_argument("contraction_base: no groups");
+  const double coeff = 2.0 * cfg.mu * cfg.gamma - cfg.mu / cfg.smooth_l;
+  return 1.0 - coeff * psi_beta_sum(groups);
+}
+
+double convergence_rho(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                       double tau_max) {
+  const double b = contraction_base(cfg, groups);
+  if (b <= 0.0 || b >= 1.0)
+    throw std::domain_error("convergence_rho: contraction base outside (0,1)");
+  return std::pow(b, 1.0 / (1.0 + tau_max));
+}
+
+double residual_delta(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                      double max_aggregation_error) {
+  cfg.validate();
+  if (groups.empty()) throw std::invalid_argument("residual_delta: no groups");
+  std::vector<double> times(groups.size());
+  for (std::size_t j = 0; j < groups.size(); ++j) times[j] = groups[j].round_time;
+  const auto psi = participation_frequencies(times);
+
+  double numer = 0.0;
+  double denom_sum = 0.0;
+  for (std::size_t j = 0; j < groups.size(); ++j) {
+    const double lambda_sq = groups[j].emd * groups[j].emd;
+    numer += psi[j] * groups[j].beta *
+             (cfg.gamma * cfg.smooth_l * lambda_sq * cfg.grad_bound_sq +
+              cfg.smooth_l * cfg.smooth_l * max_aggregation_error);
+    denom_sum += psi[j] * groups[j].beta;
+  }
+  const double denom = (2.0 * cfg.mu * cfg.gamma * cfg.smooth_l - cfg.mu) * denom_sum;
+  if (denom <= 0.0) throw std::domain_error("residual_delta: non-positive denominator");
+  return numer / denom;
+}
+
+double rounds_to_converge(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                          double tau_max, double max_aggregation_error) {
+  const double delta = residual_delta(cfg, groups, max_aggregation_error);
+  if (delta >= cfg.epsilon) return std::numeric_limits<double>::infinity();
+  double a = (cfg.epsilon - delta) / cfg.initial_gap;
+  // A >= 1 means the bound is already satisfied at t=0; one round suffices.
+  if (a >= 1.0) return 1.0;
+  const double b = contraction_base(cfg, groups);
+  if (b <= 0.0 || b >= 1.0)
+    throw std::domain_error("rounds_to_converge: contraction base outside (0,1)");
+  // log_B A with A, B in (0,1) is positive.
+  return (1.0 + tau_max) * std::log(a) / std::log(b);
+}
+
+double training_time_objective(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                               double max_aggregation_error) {
+  std::vector<double> times(groups.size());
+  for (std::size_t j = 0; j < groups.size(); ++j) times[j] = groups[j].round_time;
+  const double avg = average_round_time(times);
+  const double tau_hat = estimated_max_staleness(times);
+  // Eq. (40a) with T from Eq. (38); tau_hat replaces tau_max per Eq. (39).
+  const double rounds = rounds_to_converge(cfg, groups, tau_hat, max_aggregation_error);
+  if (!std::isfinite(rounds)) return std::numeric_limits<double>::infinity();
+  return avg * rounds;
+}
+
+}  // namespace airfedga::core

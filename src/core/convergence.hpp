@@ -1,0 +1,86 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace airfedga::core {
+
+/// Constants of the convergence analysis (Assumptions 1-4 and Theorem 1).
+///
+/// These are *estimates* of problem-dependent quantities: the smoothness L
+/// and strong convexity mu of the loss, the learning rate gamma (which must
+/// lie in (1/(2L), 1/L) for Theorem 1), the gradient bound G^2, the model
+/// norm bound W_t^2, the initial optimality gap F(w0) - F(w*), and the
+/// target gap epsilon in constraint (36b). They enter the *planning*
+/// objective (Eq. 40a) only through log_B A, so grouping decisions are
+/// robust to moderate estimation error (tested in grouping_test.cpp).
+struct ConvergenceConfig {
+  double mu = 0.2;
+  double smooth_l = 1.0;
+  double gamma = 0.9;
+  double grad_bound_sq = 1.0;    ///< G^2 (per-class gradient bound, normalized loss)
+  double model_bound_sq = 600.0; ///< W_t^2
+  double sigma0_sq = 1.0;
+  double initial_gap = 2.0;      ///< F(w0) - F(w*) (ln 10 - plateau, for 10 classes)
+  double epsilon = 0.5;
+
+  /// Throws std::invalid_argument when gamma is outside (1/(2L), 1/L) or
+  /// any constant is non-positive.
+  void validate() const;
+};
+
+/// Aggregation-error proxy C_t (Eq. 30):
+///   C = (sigma/sqrt(eta) - 1)^2 * W^2 + sigma0^2 / (D_j^2 * eta).
+double aggregation_error(double sigma, double eta, double model_bound_sq, double sigma0_sq,
+                         double group_data);
+
+/// Relative participation frequencies psi_j proportional to 1/L_j
+/// (a group re-enters aggregation as soon as it finishes a round, so its
+/// update rate is its inverse round time). Normalized to sum to 1.
+std::vector<double> participation_frequencies(std::span<const double> group_times);
+
+/// Average duration of one asynchronous global round (Eq. 35):
+///   L = 1 / sum_j (1/L_j).
+double average_round_time(std::span<const double> group_times);
+
+/// Staleness-bound estimate (Eq. 39): tau_hat = max_j L_j * sum_j 1/L_j.
+double estimated_max_staleness(std::span<const double> group_times);
+
+/// Lemma 1: given Q(t) <= x Q(t-1) + y Q(l_t) + z with x + y < 1 and
+/// staleness at most tau_max, Q(t) <= rho^t Q(0) + delta with
+/// rho = (x+y)^{1/(1+tau_max)} and delta = z / (1 - x - y).
+double lemma1_rho(double x, double y, double tau_max);
+double lemma1_delta(double x, double y, double z);
+
+/// Theorem 1 quantities for a concrete grouping.
+struct GroupPlan {
+  double round_time = 0.0;  ///< L_j (Eq. 34)
+  double beta = 0.0;        ///< beta_j
+  double emd = 0.0;         ///< Lambda_j (Eq. 11)
+};
+
+/// B = 1 - (2 mu gamma - mu/L) * sum_j psi_j beta_j; the contraction base
+/// of Theorem 1 before the staleness exponent.
+double contraction_base(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups);
+
+/// rho = B^{1/(1+tau_max)} (Theorem 1).
+double convergence_rho(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                       double tau_max);
+
+/// Residual error delta of Theorem 1 given the worst-round aggregation
+/// error max_t C_t.
+double residual_delta(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                      double max_aggregation_error);
+
+/// Lower bound on the number of rounds to reach the epsilon gap (Eq. 38):
+///   T >= (1 + tau_max) * log_B A,  A = (eps - delta) / initial_gap.
+/// Returns +inf when delta >= eps (the target gap is unreachable).
+double rounds_to_converge(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                          double tau_max, double max_aggregation_error);
+
+/// Full planning objective (Eq. 40a): average round time * rounds bound.
+/// This is what Alg. 3 greedily minimizes.
+double training_time_objective(const ConvergenceConfig& cfg, std::span<const GroupPlan> groups,
+                               double max_aggregation_error);
+
+}  // namespace airfedga::core

@@ -1,0 +1,339 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/power_control.hpp"
+
+namespace airfedga::core {
+
+namespace {
+
+/// Planning estimate of the aggregation error C_j for one group, using the
+/// expected channel gain for every member (actual per-round gains are not
+/// known at grouping time).
+double planned_group_error(const std::vector<std::size_t>& group, const data::DataStats& stats,
+                           const GroupingConfig& cfg) {
+  PowerControlInput in;
+  in.model_bound_sq = cfg.convergence.model_bound_sq;
+  in.sigma0_sq = cfg.convergence.sigma0_sq;
+  in.group_data = static_cast<double>(stats.group_size(group));
+  for (auto w : group) {
+    in.gains.push_back(cfg.planning_gain);
+    in.data_sizes.push_back(static_cast<double>(stats.worker_size(w)));
+    in.energy_caps.push_back(cfg.energy_cap);
+  }
+  return optimize_power(in).error;
+}
+
+double group_round_time(const std::vector<std::size_t>& group,
+                        const std::vector<double>& local_times, double upload_seconds) {
+  double lmax = 0.0;
+  for (auto w : group) lmax = std::max(lmax, local_times.at(w));
+  return lmax + upload_seconds;  // Eq. (34)
+}
+
+/// Constraint (36d): for every member, L_j - L_u - l_i <= xi * Delta_l,
+/// which reduces to (intra-group time spread) <= xi * Delta_l.
+bool satisfies_time_constraint(const std::vector<std::size_t>& group,
+                               const std::vector<double>& local_times, double xi,
+                               double global_spread) {
+  double lmax = 0.0, lmin = std::numeric_limits<double>::infinity();
+  for (auto w : group) {
+    lmax = std::max(lmax, local_times.at(w));
+    lmin = std::min(lmin, local_times.at(w));
+  }
+  return lmax - lmin <= xi * global_spread + 1e-12;
+}
+
+struct Candidate {
+  double objective = std::numeric_limits<double>::infinity();
+  double residual = std::numeric_limits<double>::infinity();
+  double round_time = std::numeric_limits<double>::infinity();
+
+  /// Lexicographic order: finite objective first, then residual, then time.
+  [[nodiscard]] bool better_than(const Candidate& other) const {
+    const bool fin_a = std::isfinite(objective);
+    const bool fin_b = std::isfinite(other.objective);
+    if (fin_a != fin_b) return fin_a;
+    if (fin_a && objective != other.objective) return objective < other.objective;
+    if (residual != other.residual) return residual < other.residual;
+    return round_time < other.round_time;
+  }
+};
+
+Candidate evaluate_candidate(const data::WorkerGroups& groups, const data::DataStats& stats,
+                             const std::vector<double>& local_times, const GroupingConfig& cfg) {
+  std::vector<GroupPlan> plans(groups.size());
+  double max_error = 0.0;
+  std::vector<double> times(groups.size());
+  for (std::size_t j = 0; j < groups.size(); ++j) {
+    plans[j].round_time = group_round_time(groups[j], local_times, cfg.aircomp_upload_seconds);
+    plans[j].beta = stats.beta(groups[j]);
+    plans[j].emd = stats.emd(groups[j]);
+    times[j] = plans[j].round_time;
+    max_error = std::max(max_error, planned_group_error(groups[j], stats, cfg));
+  }
+  Candidate c;
+  c.objective = training_time_objective(cfg.convergence, plans, max_error);
+  c.residual = residual_delta(cfg.convergence, plans, max_error);
+  c.round_time = average_round_time(times);
+  return c;
+}
+
+/// Local-search refinement shared by both starting points of Alg. 3:
+/// (i) first-improvement relocation of single workers, (ii) dissolution
+/// of whole groups, (iii) pairwise swaps. Every accepted change strictly
+/// improves the lexicographic candidate order (objective, residual,
+/// round time) while preserving constraint (36d).
+void refine_groups(data::WorkerGroups& groups, const data::DataStats& stats,
+                   const std::vector<double>& local_times, const GroupingConfig& cfg,
+                   double spread) {
+  for (std::size_t pass = 0; pass < cfg.refine_passes; ++pass) {
+    bool improved = false;
+    Candidate current = evaluate_candidate(groups, stats, local_times, cfg);
+    for (std::size_t src = 0; src < groups.size(); ++src) {
+      std::size_t wi = 0;
+      while (wi < groups[src].size() && groups[src].size() > 1) {
+        const std::size_t worker = groups[src][wi];
+        bool moved_out = false;
+        for (std::size_t dst = 0; dst < groups.size() && !moved_out; ++dst) {
+          if (dst == src) continue;
+          groups[src].erase(groups[src].begin() + static_cast<std::ptrdiff_t>(wi));
+          groups[dst].push_back(worker);
+          if (satisfies_time_constraint(groups[dst], local_times, cfg.xi, spread)) {
+            const Candidate cand = evaluate_candidate(groups, stats, local_times, cfg);
+            if (cand.better_than(current)) {
+              current = cand;
+              improved = true;
+              moved_out = true;
+              continue;  // keep the move; position wi now holds the next member
+            }
+          }
+          // Undo the move.
+          groups[dst].pop_back();
+          groups[src].insert(groups[src].begin() + static_cast<std::ptrdiff_t>(wi), worker);
+        }
+        if (!moved_out) ++wi;
+      }
+    }
+
+    // Dissolution pass: a stranded small group keeps maxC high (its D_j is
+    // small, Eq. 30) and single-worker moves cannot empty it because each
+    // departure makes it smaller and thus worse. Try redistributing an
+    // entire group and keep the change when the plan improves.
+    for (std::size_t victim = 0; victim < groups.size(); ++victim) {
+      if (groups.size() <= 1) break;
+      data::WorkerGroups trial;
+      trial.reserve(groups.size() - 1);
+      for (std::size_t j = 0; j < groups.size(); ++j)
+        if (j != victim) trial.push_back(groups[j]);
+      bool placed_all = true;
+      for (auto worker : groups[victim]) {
+        std::size_t best_dst = trial.size();
+        Candidate best_cand;
+        for (std::size_t dst = 0; dst < trial.size(); ++dst) {
+          trial[dst].push_back(worker);
+          if (satisfies_time_constraint(trial[dst], local_times, cfg.xi, spread)) {
+            const Candidate cand = evaluate_candidate(trial, stats, local_times, cfg);
+            if (best_dst == trial.size() || cand.better_than(best_cand)) {
+              best_cand = cand;
+              best_dst = dst;
+            }
+          }
+          trial[dst].pop_back();
+        }
+        if (best_dst == trial.size()) {
+          placed_all = false;
+          break;
+        }
+        trial[best_dst].push_back(worker);
+      }
+      if (placed_all) {
+        const Candidate cand = evaluate_candidate(trial, stats, local_times, cfg);
+        if (cand.better_than(current)) {
+          groups = std::move(trial);
+          current = cand;
+          improved = true;
+          victim = static_cast<std::size_t>(-1);  // restart scan over new groups
+        }
+      }
+    }
+
+    // Swap pass: exchanging two workers rebalances classes across groups
+    // in situations where no single relocation fits the time windows.
+    for (std::size_t ga = 0; ga < groups.size(); ++ga) {
+      for (std::size_t gb = ga + 1; gb < groups.size(); ++gb) {
+        for (std::size_t ia = 0; ia < groups[ga].size(); ++ia) {
+          for (std::size_t ib = 0; ib < groups[gb].size(); ++ib) {
+            std::swap(groups[ga][ia], groups[gb][ib]);
+            const bool ok =
+                satisfies_time_constraint(groups[ga], local_times, cfg.xi, spread) &&
+                satisfies_time_constraint(groups[gb], local_times, cfg.xi, spread);
+            if (ok) {
+              const Candidate cand = evaluate_candidate(groups, stats, local_times, cfg);
+              if (cand.better_than(current)) {
+                current = cand;
+                improved = true;
+                continue;  // keep the swap
+              }
+            }
+            std::swap(groups[ga][ia], groups[gb][ib]);  // undo
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+}  // namespace
+
+GroupingResult evaluate_grouping(const data::WorkerGroups& groups, const data::DataStats& stats,
+                                 const std::vector<double>& local_times,
+                                 const GroupingConfig& cfg) {
+  if (groups.empty()) throw std::invalid_argument("evaluate_grouping: no groups");
+  const Candidate c = evaluate_candidate(groups, stats, local_times, cfg);
+  GroupingResult res;
+  res.groups = groups;
+  res.group_times.resize(groups.size());
+  for (std::size_t j = 0; j < groups.size(); ++j)
+    res.group_times[j] = group_round_time(groups[j], local_times, cfg.aircomp_upload_seconds);
+  res.objective = c.objective;
+  res.residual = c.residual;
+  res.mean_emd = stats.mean_emd(groups);
+  return res;
+}
+
+GroupingResult airfedga_grouping(const data::DataStats& stats,
+                                 const std::vector<double>& local_times,
+                                 const GroupingConfig& cfg) {
+  const std::size_t n = stats.num_workers();
+  if (local_times.size() != n)
+    throw std::invalid_argument("airfedga_grouping: local_times size mismatch");
+  if (cfg.xi < 0.0) throw std::invalid_argument("airfedga_grouping: xi must be >= 0");
+  cfg.convergence.validate();
+
+  const double lmax = *std::max_element(local_times.begin(), local_times.end());
+  const double lmin = *std::min_element(local_times.begin(), local_times.end());
+  const double spread = lmax - lmin;  // Delta_l
+
+  // Alg. 3 line 3: visit workers in descending data-size order. The sort
+  // key leaves ties unordered, and under label skew all workers have equal
+  // size — so we break ties by interleaving dominant classes (k-th worker
+  // of class 0, k-th of class 1, ...). Greedy accretion then always has a
+  // class-diverse pool of open groups to extend, which is what lets the
+  // algorithm reach the paper's low inter-group EMD (Table III).
+  std::vector<std::size_t> occurrence(n);
+  {
+    std::vector<std::size_t> seen_of_class(stats.num_classes(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t dominant = 0;
+      for (std::size_t k = 1; k < stats.num_classes(); ++k)
+        if (stats.worker_class_size(i, k) > stats.worker_class_size(i, dominant)) dominant = k;
+      occurrence[i] = seen_of_class[dominant]++;
+    }
+  }
+  std::vector<std::size_t> queue(n);
+  std::iota(queue.begin(), queue.end(), std::size_t{0});
+  std::stable_sort(queue.begin(), queue.end(), [&](std::size_t a, std::size_t b) {
+    if (stats.worker_size(a) != stats.worker_size(b))
+      return stats.worker_size(a) > stats.worker_size(b);
+    return occurrence[a] < occurrence[b];
+  });
+
+  data::WorkerGroups groups;
+  for (auto worker : queue) {
+    Candidate best;
+    std::size_t best_group = groups.size();  // index == groups.size() means "new group"
+    bool found = false;
+
+    // Try joining each existing group.
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      groups[j].push_back(worker);
+      if (satisfies_time_constraint(groups[j], local_times, cfg.xi, spread)) {
+        const Candidate c = evaluate_candidate(groups, stats, local_times, cfg);
+        if (!found || c.better_than(best)) {
+          best = c;
+          best_group = j;
+          found = true;
+        }
+      }
+      groups[j].pop_back();
+    }
+    // Try opening a new group (always satisfies 36d for a singleton).
+    groups.push_back({worker});
+    const Candidate c = evaluate_candidate(groups, stats, local_times, cfg);
+    groups.pop_back();
+    if (!found || c.better_than(best)) {
+      best = c;
+      best_group = groups.size();
+      found = true;
+    }
+
+    if (best_group == groups.size()) {
+      groups.push_back({worker});
+    } else {
+      groups[best_group].push_back(worker);
+    }
+  }
+
+  refine_groups(groups, stats, local_times, cfg, spread);
+
+  // The greedy fixes the number of groups M organically; quantile tiers of
+  // the same M are a second, size-balanced starting point (small groups
+  // are penalized by the 1/D_j^2 term of Eq. 30, and the time windows that
+  // satisfy (36d) naturally sit at population quantiles). Refine both and
+  // keep whichever wins the planning order.
+  if (groups.size() > 1 && groups.size() < n) {
+    data::WorkerGroups tiered = tifl_grouping(local_times, groups.size());
+    refine_groups(tiered, stats, local_times, cfg, spread);
+    // Quantile tiers are only a valid alternative when every tier happens
+    // to satisfy constraint (36d) — it is not guaranteed by construction.
+    bool feasible = true;
+    for (const auto& g : tiered)
+      feasible = feasible && satisfies_time_constraint(g, local_times, cfg.xi, spread);
+    if (feasible) {
+      const Candidate greedy_cand = evaluate_candidate(groups, stats, local_times, cfg);
+      const Candidate tiered_cand = evaluate_candidate(tiered, stats, local_times, cfg);
+      if (tiered_cand.better_than(greedy_cand)) groups = std::move(tiered);
+    }
+  }
+
+  data::validate_groups(groups, n);
+  return evaluate_grouping(groups, stats, local_times, cfg);
+}
+
+data::WorkerGroups tifl_grouping(const std::vector<double>& local_times,
+                                 std::size_t num_groups) {
+  const std::size_t n = local_times.size();
+  if (n == 0) throw std::invalid_argument("tifl_grouping: no workers");
+  if (num_groups == 0 || num_groups > n)
+    throw std::invalid_argument("tifl_grouping: bad group count");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return local_times[a] < local_times[b]; });
+  data::WorkerGroups groups(num_groups);
+  // Near-equal contiguous tiers over the sorted response times.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t tier = i * num_groups / n;
+    groups[tier].push_back(order[i]);
+  }
+  return groups;
+}
+
+data::WorkerGroups random_grouping(std::size_t num_workers, std::size_t num_groups,
+                                   util::Rng& rng) {
+  if (num_groups == 0 || num_groups > num_workers)
+    throw std::invalid_argument("random_grouping: bad group count");
+  auto perm = rng.permutation(num_workers);
+  data::WorkerGroups groups(num_groups);
+  for (std::size_t i = 0; i < num_workers; ++i) groups[i % num_groups].push_back(perm[i]);
+  return groups;
+}
+
+}  // namespace airfedga::core

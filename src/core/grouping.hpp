@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "data/data_stats.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::core {
+
+/// Planning-time parameters of the worker grouping problem P4 (§V-C).
+struct GroupingConfig {
+  /// xi in constraint (36d): within a group, the spread of local training
+  /// times may not exceed xi * (max_i l_i - min_i l_i). Paper default 0.3.
+  double xi = 0.3;
+
+  /// L_u, the AirComp upload time added to every group round (Eq. 34).
+  double aircomp_upload_seconds = 0.01;
+
+  /// Channel statistics used for planning the per-group aggregation error
+  /// C_j before any round is run: the expected gain E[h] and the per-round
+  /// energy budget (assumed common across workers, as in §VI-A2).
+  double planning_gain = 1.0;
+  double energy_cap = 10.0;
+
+  /// Local-search passes run after the greedy (0 disables): single-worker
+  /// moves between (36d)-compatible groups that improve the objective.
+  /// The pure greedy bottoms out at the multinomial sampling noise of the
+  /// per-window class mix; the refinement is what reaches the near-IID
+  /// inter-group EMD the paper reports in Table III.
+  std::size_t refine_passes = 3;
+
+  ConvergenceConfig convergence;
+};
+
+/// A grouping decision plus the planning quantities behind it.
+struct GroupingResult {
+  data::WorkerGroups groups;
+  std::vector<double> group_times;   ///< L_j (Eq. 34)
+  double objective = 0.0;            ///< Eq. (40a); +inf if bound infeasible
+  double residual = 0.0;             ///< delta at this grouping
+  double mean_emd = 0.0;             ///< Table III metric
+};
+
+/// Evaluates the P4 objective for an explicit grouping. Exposed for tests
+/// and for the grouping-ablation benchmark.
+GroupingResult evaluate_grouping(const data::WorkerGroups& groups, const data::DataStats& stats,
+                                 const std::vector<double>& local_times,
+                                 const GroupingConfig& cfg);
+
+/// Alg. 3: greedy worker grouping for Air-FedGA. Workers are visited in
+/// descending data-size order; each is placed into the existing (or a new)
+/// group that minimizes the objective subject to constraint (36d).
+///
+/// Tie-breaking beyond the paper: while few workers are assigned, every
+/// candidate grouping can have delta >= epsilon (unreachable bound, i.e.
+/// objective = +inf). Candidates are then compared by (delta, L) instead,
+/// which preserves the algorithm's intent — drive the inter-group data
+/// distribution towards IID first, round time second.
+GroupingResult airfedga_grouping(const data::DataStats& stats,
+                                 const std::vector<double>& local_times,
+                                 const GroupingConfig& cfg);
+
+/// TiFL-style baseline [26]: tiers are quantiles of the response time only;
+/// data distribution is ignored. `num_groups` tiers of near-equal size.
+data::WorkerGroups tifl_grouping(const std::vector<double>& local_times,
+                                 std::size_t num_groups);
+
+/// Uniformly random grouping baseline.
+data::WorkerGroups random_grouping(std::size_t num_workers, std::size_t num_groups,
+                                   util::Rng& rng);
+
+}  // namespace airfedga::core

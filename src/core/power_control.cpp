@@ -1,0 +1,81 @@
+#include "core/power_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/convergence.hpp"
+
+namespace airfedga::core {
+
+namespace {
+void check_input(const PowerControlInput& in) {
+  if (in.model_bound_sq <= 0.0) throw std::invalid_argument("power control: W^2 must be > 0");
+  if (in.sigma0_sq < 0.0) throw std::invalid_argument("power control: sigma0^2 must be >= 0");
+  if (in.group_data <= 0.0) throw std::invalid_argument("power control: D_jt must be > 0");
+  const std::size_t m = in.gains.size();
+  if (m == 0) throw std::invalid_argument("power control: empty group");
+  if (in.data_sizes.size() != m || in.energy_caps.size() != m)
+    throw std::invalid_argument("power control: member array size mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    if (in.gains[i] <= 0.0) throw std::invalid_argument("power control: gains must be > 0");
+    if (in.data_sizes[i] <= 0.0) throw std::invalid_argument("power control: d_i must be > 0");
+    if (in.energy_caps[i] <= 0.0) throw std::invalid_argument("power control: E_i must be > 0");
+  }
+  if (in.tolerance <= 0.0) throw std::invalid_argument("power control: tolerance must be > 0");
+  if (in.max_iterations < 1) throw std::invalid_argument("power control: max_iterations >= 1");
+}
+
+/// Eq. (44): optimal eta for fixed sigma.
+double optimal_eta(double sigma, double w_sq, double sigma0_sq, double d_j) {
+  const double numer = sigma * sigma * w_sq + sigma0_sq / (d_j * d_j);
+  const double denom = sigma * w_sq;
+  const double root = numer / denom;
+  return root * root;
+}
+}  // namespace
+
+double sigma_energy_bound(const PowerControlInput& in) {
+  const double w = std::sqrt(in.model_bound_sq);
+  double bound = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < in.gains.size(); ++i)
+    bound = std::min(bound, in.gains[i] * std::sqrt(in.energy_caps[i]) / (in.data_sizes[i] * w));
+  return bound;
+}
+
+PowerControlResult optimize_power(const PowerControlInput& in) {
+  check_input(in);
+  const double cap = sigma_energy_bound(in);
+
+  PowerControlResult res;
+  // Start from the energy bound: always feasible, and for a noiseless
+  // channel already optimal.
+  double sigma = cap;
+  double eta = optimal_eta(sigma, in.model_bound_sq, in.sigma0_sq, in.group_data);
+
+  for (int it = 1; it <= in.max_iterations; ++it) {
+    const double prev_sigma = sigma;
+    const double prev_eta = eta;
+
+    // Alg. 2 line 3: eta update (closed form, Eq. 44).
+    eta = optimal_eta(sigma, in.model_bound_sq, in.sigma0_sq, in.group_data);
+    // Alg. 2 line 4: sigma update (Eq. 47).
+    sigma = std::min(std::sqrt(eta), cap);
+
+    res.iterations = it;
+    const double ds = std::abs(sigma - prev_sigma) / std::max(prev_sigma, 1e-300);
+    const double de = std::abs(eta - prev_eta) / std::max(prev_eta, 1e-300);
+    if (ds <= in.tolerance && de <= in.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  res.sigma = sigma;
+  res.eta = eta;
+  res.error = aggregation_error(sigma, eta, in.model_bound_sq, in.sigma0_sq, in.group_data);
+  return res;
+}
+
+}  // namespace airfedga::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+namespace airfedga::core {
+
+/// Inputs of the per-round power-control problem P3 (paper §V-B) for the
+/// group V_jt that is about to aggregate.
+struct PowerControlInput {
+  double model_bound_sq = 1.0;  ///< W_t^2 (max squared norm over member models)
+  double sigma0_sq = 1.0;       ///< AWGN energy
+  double group_data = 1.0;      ///< D_jt
+  std::vector<double> gains;       ///< h^i_t, per member
+  std::vector<double> data_sizes;  ///< d_i, per member
+  std::vector<double> energy_caps; ///< \hat{E}_i, per member
+  double tolerance = 1e-9;      ///< theta in Alg. 2 (relative change)
+  int max_iterations = 200;
+};
+
+struct PowerControlResult {
+  double sigma = 0.0;  ///< power scaling factor sigma_t^*
+  double eta = 0.0;    ///< denoising factor eta_t^*
+  double error = 0.0;  ///< C_t at the optimum (Eq. 30)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Alg. 2: alternating optimization of (sigma_t, eta_t).
+///
+/// Fixing sigma, the optimal denoising factor has the closed form (Eq. 44)
+///   eta = ((sigma^2 W^2 + sigma0^2/D^2) / (sigma W^2))^2,
+/// and fixing eta, C_t is minimized at sigma = sqrt(eta) clipped to the
+/// per-worker energy feasibility bound sigma <= h_i sqrt(E_i) / (d_i W)
+/// (Eqs. 46-47). Both subproblems are exact minimizers of a convex
+/// function, so the alternation converges monotonically; in fact the
+/// closed-form composition reaches the fixed point in a handful of
+/// iterations (tested).
+PowerControlResult optimize_power(const PowerControlInput& in);
+
+/// The energy-feasibility upper bound on sigma (right-hand set of Eq. 47):
+/// min_i h_i sqrt(E_i) / (d_i W).
+double sigma_energy_bound(const PowerControlInput& in);
+
+}  // namespace airfedga::core

@@ -1,0 +1,93 @@
+#include "data/data_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace airfedga::data {
+
+DataStats::DataStats(const Dataset& ds, const Partition& partition) {
+  const std::size_t n = partition.size();
+  const std::size_t k = ds.num_classes;
+  if (k == 0) throw std::invalid_argument("DataStats: dataset has no classes");
+  d_i_.assign(n, 0);
+  d_ik_.assign(n, std::vector<std::size_t>(k, 0));
+  std::vector<std::size_t> class_total(k, 0);
+  for (std::size_t w = 0; w < n; ++w) {
+    for (auto idx : partition[w]) {
+      const int label = ds.ys.at(idx);
+      ++d_i_[w];
+      ++d_ik_[w][static_cast<std::size_t>(label)];
+      ++class_total[static_cast<std::size_t>(label)];
+      ++total_;
+    }
+  }
+  if (total_ == 0) throw std::invalid_argument("DataStats: empty partition");
+  lambda_.resize(k);
+  for (std::size_t c = 0; c < k; ++c)
+    lambda_[c] = static_cast<double>(class_total[c]) / static_cast<double>(total_);
+}
+
+double DataStats::alpha(std::size_t i) const {
+  return static_cast<double>(d_i_.at(i)) / static_cast<double>(total_);
+}
+
+std::size_t DataStats::worker_class_size(std::size_t i, std::size_t k) const {
+  return d_ik_.at(i).at(k);
+}
+
+double DataStats::alpha_class(std::size_t i, std::size_t k) const {
+  const auto di = d_i_.at(i);
+  if (di == 0) return 0.0;
+  return static_cast<double>(d_ik_.at(i).at(k)) / static_cast<double>(di);
+}
+
+std::size_t DataStats::group_size(const std::vector<std::size_t>& group) const {
+  std::size_t s = 0;
+  for (auto i : group) s += d_i_.at(i);
+  return s;
+}
+
+double DataStats::beta(const std::vector<std::size_t>& group) const {
+  return static_cast<double>(group_size(group)) / static_cast<double>(total_);
+}
+
+double DataStats::beta_class(const std::vector<std::size_t>& group, std::size_t k) const {
+  const std::size_t dj = group_size(group);
+  if (dj == 0) return 0.0;
+  std::size_t djk = 0;
+  for (auto i : group) djk += d_ik_.at(i).at(k);
+  return static_cast<double>(djk) / static_cast<double>(dj);
+}
+
+double DataStats::emd(const std::vector<std::size_t>& group) const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < num_classes(); ++c)
+    acc += std::abs(lambda_[c] - beta_class(group, c));
+  return acc;
+}
+
+double DataStats::mean_emd(const WorkerGroups& groups) const {
+  if (groups.empty()) throw std::invalid_argument("mean_emd: no groups");
+  double acc = 0.0;
+  for (const auto& g : groups) acc += emd(g);
+  return acc / static_cast<double>(groups.size());
+}
+
+double DataStats::worker_emd(std::size_t i) const { return emd({i}); }
+
+void validate_groups(const WorkerGroups& groups, std::size_t num_workers) {
+  std::vector<char> seen(num_workers, 0);
+  std::size_t count = 0;
+  for (const auto& g : groups) {
+    if (g.empty()) throw std::invalid_argument("groups: empty group");
+    for (auto w : g) {
+      if (w >= num_workers) throw std::invalid_argument("groups: worker id out of range");
+      if (seen[w]) throw std::invalid_argument("groups: worker appears twice");
+      seen[w] = 1;
+      ++count;
+    }
+  }
+  if (count != num_workers) throw std::invalid_argument("groups: not all workers grouped");
+}
+
+}  // namespace airfedga::data

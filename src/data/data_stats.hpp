@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "data/partition.hpp"
+
+namespace airfedga::data {
+
+/// Worker grouping: groups[j] lists the worker ids in group V_j.
+/// Groups must be disjoint and cover all workers (Alg. 1 precondition).
+using WorkerGroups = std::vector<std::vector<std::size_t>>;
+
+/// Per-worker / per-class mass statistics from Table II of the paper:
+/// d_i, d_i^k, alpha_i = d_i/D, lambda_k, alpha_i^k — all derived from a
+/// dataset plus its partition, and the group-level beta_j / beta_j^k for
+/// any candidate grouping.
+class DataStats {
+ public:
+  DataStats(const Dataset& ds, const Partition& partition);
+
+  [[nodiscard]] std::size_t num_workers() const { return d_i_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return lambda_.size(); }
+
+  /// d_i: sample count on worker i.
+  [[nodiscard]] std::size_t worker_size(std::size_t i) const { return d_i_.at(i); }
+  /// D: total sample count.
+  [[nodiscard]] std::size_t total_size() const { return total_; }
+  /// alpha_i = d_i / D.
+  [[nodiscard]] double alpha(std::size_t i) const;
+  /// lambda_k: global fraction of class k.
+  [[nodiscard]] double lambda(std::size_t k) const { return lambda_.at(k); }
+  /// d_i^k: samples of class k on worker i.
+  [[nodiscard]] std::size_t worker_class_size(std::size_t i, std::size_t k) const;
+  /// alpha_i^k = d_i^k / d_i.
+  [[nodiscard]] double alpha_class(std::size_t i, std::size_t k) const;
+
+  /// D_j for a worker set.
+  [[nodiscard]] std::size_t group_size(const std::vector<std::size_t>& group) const;
+  /// beta_j = D_j / D.
+  [[nodiscard]] double beta(const std::vector<std::size_t>& group) const;
+  /// beta_j^k = D_j^k / D_j.
+  [[nodiscard]] double beta_class(const std::vector<std::size_t>& group, std::size_t k) const;
+
+  /// Earth mover distance between group j's label distribution and the
+  /// global one (Eq. 11): Lambda_j = sum_k |lambda_k - beta_j^k|.
+  [[nodiscard]] double emd(const std::vector<std::size_t>& group) const;
+
+  /// Mean EMD over all groups (Table III's metric).
+  [[nodiscard]] double mean_emd(const WorkerGroups& groups) const;
+
+  /// EMD of a single worker treated as its own group.
+  [[nodiscard]] double worker_emd(std::size_t i) const;
+
+ private:
+  std::vector<std::size_t> d_i_;
+  std::vector<std::vector<std::size_t>> d_ik_;  // [worker][class]
+  std::vector<double> lambda_;
+  std::size_t total_ = 0;
+};
+
+/// Checks disjointness + coverage of a grouping over `num_workers` workers.
+void validate_groups(const WorkerGroups& groups, std::size_t num_workers);
+
+}  // namespace airfedga::data

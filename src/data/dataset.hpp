@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::data {
+
+/// In-memory labelled dataset. `xs` is (N, D) for flat inputs or
+/// (N, C, H, W) for image-shaped inputs; `ys` holds class indices.
+struct Dataset {
+  ml::Tensor xs;
+  std::vector<int> ys;
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return ys.size(); }
+
+  /// Indices of all samples with the given label.
+  [[nodiscard]] std::vector<std::size_t> indices_of_class(int label) const;
+};
+
+/// Configuration for the synthetic class-conditional generator.
+///
+/// Each class k gets a prototype vector mu_k (unit-norm random direction
+/// scaled by `margin`); a sample is mu_k + noise, passed through a fixed
+/// random rotation so no single input coordinate is class-revealing.
+/// `margin`/`noise` control Bayes error, i.e. how long a model needs to
+/// train before reaching the paper's accuracy targets.
+struct SyntheticConfig {
+  std::size_t num_samples = 10000;
+  std::size_t num_classes = 10;
+  double margin = 1.0;
+  double noise = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Flat-feature dataset of dimension `dim` (MNIST-like when dim=784, K=10).
+Dataset make_synthetic_flat(std::size_t dim, const SyntheticConfig& cfg);
+
+/// Image-shaped dataset (C, H, W); prototypes are per-class spatial
+/// patterns so convolutional models have local structure to exploit.
+Dataset make_synthetic_image(std::size_t channels, std::size_t height, std::size_t width,
+                             const SyntheticConfig& cfg);
+
+/// Named dataset presets mirroring the paper's three benchmarks at
+/// CPU-tractable size. `train_samples`/`test_samples` default to values
+/// that keep the full figure grid runnable; pass larger values to approach
+/// the original dataset sizes.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+TrainTest make_mnist_like(std::size_t train_samples = 10000, std::size_t test_samples = 2000,
+                          std::uint64_t seed = 1);
+/// 1x28x28 image-shaped variant of the MNIST-like preset (for CNN models).
+TrainTest make_mnist_image_like(std::size_t train_samples = 10000,
+                                std::size_t test_samples = 2000, std::uint64_t seed = 1);
+TrainTest make_cifar10_like(std::size_t train_samples = 10000, std::size_t test_samples = 2000,
+                            std::uint64_t seed = 2);
+TrainTest make_imagenet100_like(std::size_t train_samples = 10000, std::size_t test_samples = 2000,
+                                std::uint64_t seed = 3);
+
+}  // namespace airfedga::data

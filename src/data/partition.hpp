@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace airfedga::data {
+
+/// A partition assigns every training-sample index to exactly one worker.
+using Partition = std::vector<std::vector<std::size_t>>;  // [worker] -> sample indices
+
+/// Uniformly random split into `num_workers` near-equal shards.
+Partition partition_iid(const Dataset& ds, std::size_t num_workers, util::Rng& rng);
+
+/// The paper's label-skew split (§VI-A): samples with label k go to the
+/// k-th block of workers (e.g. with K=10 labels and N=100 workers, label 0
+/// goes to workers 0..9, label 1 to workers 10..19, ...). Each worker ends
+/// up with data from a single class — the hardest Non-IID setting.
+Partition partition_label_skew(const Dataset& ds, std::size_t num_workers, util::Rng& rng);
+
+/// Dirichlet(alpha) label-distribution split (extension beyond the paper):
+/// for each class, worker shares are drawn from Dir(alpha); alpha -> 0
+/// approaches label skew, alpha -> inf approaches IID.
+Partition partition_dirichlet(const Dataset& ds, std::size_t num_workers, double alpha,
+                              util::Rng& rng);
+
+/// Validates that `p` is a partition of [0, ds.size()): every index appears
+/// exactly once. Throws std::invalid_argument otherwise.
+void validate_partition(const Partition& p, const Dataset& ds);
+
+}  // namespace airfedga::data

@@ -1,0 +1,39 @@
+#include <algorithm>
+#include <numeric>
+
+#include "fl/mechanisms.hpp"
+
+namespace airfedga::fl {
+
+Metrics AirFedAvg::run(const FLConfig& cfg) {
+  Driver driver(cfg);
+  Metrics metrics;
+
+  std::vector<float> w = driver.initial_model();
+  std::vector<std::size_t> everyone(driver.num_workers());
+  std::iota(everyone.begin(), everyone.end(), std::size_t{0});
+
+  const auto local_times = driver.cluster().local_times();
+  const double compute_time = *std::max_element(local_times.begin(), local_times.end());
+  const double upload_time = driver.latency().aircomp_upload_seconds(driver.model_dim());
+  const double round_time = compute_time + upload_time;
+
+  double now = 0.0;
+  double energy = 0.0;
+  for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
+    if (now + round_time > cfg.time_budget) break;
+    for (auto& worker : driver.workers())
+      worker.local_update(driver.scratch(), w, cfg.learning_rate, cfg.local_steps,
+                          cfg.batch_size);
+    now += round_time;
+    // All workers transmit concurrently; power control per Alg. 2.
+    w = driver.aircomp_aggregate(everyone, w, t, energy);
+
+    driver.maybe_record(metrics, t, now, energy, /*staleness=*/0.0, w);
+    if (driver.should_stop(metrics)) break;
+  }
+  metrics.set_final_model(std::move(w));
+  return metrics;
+}
+
+}  // namespace airfedga::fl

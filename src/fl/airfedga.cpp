@@ -1,0 +1,100 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "fl/mechanisms.hpp"
+#include "fl/server.hpp"
+#include "sim/event_queue.hpp"
+
+namespace airfedga::fl {
+
+namespace {
+constexpr int kReady = 0;      ///< a worker finished local training (Alg. 1 line 8)
+constexpr int kAggregate = 1;  ///< a complete group finishes its over-the-air upload
+}  // namespace
+
+Metrics AirFedGA::run(const FLConfig& cfg) {
+  Driver driver(cfg);
+  Metrics metrics;
+
+  const auto local_times = driver.cluster().local_times();
+  core::GroupingConfig gcfg = opts_.grouping;
+  gcfg.aircomp_upload_seconds = driver.latency().aircomp_upload_seconds(driver.model_dim());
+  gcfg.energy_cap = cfg.energy_cap;
+  gcfg.convergence.sigma0_sq = cfg.aircomp.sigma0_sq;
+  if (opts_.auto_calibrate_model_bound) {
+    // Assumption 4's W^2 for planning: the initial model norm with 2x
+    // headroom (norms drift slowly under small-step SGD).
+    const double w_sq = ml::squared_norm(driver.initial_model());
+    gcfg.convergence.model_bound_sq = std::max(1e-9, 2.0 * w_sq);
+  }
+
+  if (opts_.groups_override) {
+    groups_ = *opts_.groups_override;
+  } else {
+    groups_ = core::airfedga_grouping(driver.stats(), local_times, gcfg).groups;
+  }
+  data::validate_groups(groups_, driver.num_workers());
+
+  std::vector<std::size_t> group_of(driver.num_workers());
+  for (std::size_t j = 0; j < groups_.size(); ++j)
+    for (auto m : groups_[j]) group_of[m] = j;
+
+  ParameterServer server(driver.initial_model(), groups_.size());
+  const double upload_time = gcfg.aircomp_upload_seconds;
+
+  sim::EventQueue queue;
+  // Round 0: every worker holds w_0, trains, and reports READY (Alg. 1
+  // lines 5-8). Compute happens eagerly; completion time is virtual.
+  for (std::size_t i = 0; i < driver.num_workers(); ++i) {
+    driver.worker(i).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
+                                  cfg.local_steps, cfg.batch_size);
+    queue.schedule(local_times[i], kReady, i);
+  }
+
+  double energy = 0.0;
+  while (!queue.empty()) {
+    const auto ev = queue.pop();
+    if (ev.time > cfg.time_budget) break;
+
+    if (ev.kind == kReady) {
+      const std::size_t j = group_of[ev.actor];
+      // Intra-group alignment (Alg. 1 lines 17-23): the EXECUTE message
+      // goes out when the last member reports READY; the concurrent
+      // transmission then occupies the channel for L_u seconds.
+      if (server.ready(j, groups_[j].size())) queue.schedule(ev.time + upload_time, kAggregate, j);
+      continue;
+    }
+
+    // kAggregate: over-the-air aggregation of group j (Alg. 1 lines 24-26).
+    const std::size_t j = ev.actor;
+    const auto tau = static_cast<double>(server.staleness(j));
+    const std::size_t fading_round = server.round() + 1;
+    auto w_new =
+        driver.aircomp_aggregate(groups_[j], server.global_model(), fading_round, energy);
+
+    if (opts_.staleness_damping > 0.0) {
+      // Extension: shrink a stale group's contribution FedAsync-style,
+      // w_t = w_{t-1} + (w_t^{air} - w_{t-1}) / (1 + tau)^a.
+      const double damp = 1.0 / std::pow(1.0 + tau, opts_.staleness_damping);
+      const auto w_prev = server.global_model();
+      for (std::size_t d = 0; d < w_new.size(); ++d)
+        w_new[d] = static_cast<float>(w_prev[d] + damp * (w_new[d] - w_prev[d]));
+    }
+
+    server.complete_round(j, std::move(w_new));
+    driver.maybe_record(metrics, server.round(), ev.time, energy, tau, server.global_model());
+    if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
+
+    // The group receives w_t and starts the next local round (Alg. 1
+    // line 26 followed by lines 6-8).
+    for (auto m : groups_[j]) {
+      driver.worker(m).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
+                                    cfg.local_steps, cfg.batch_size);
+      queue.schedule(ev.time + local_times[m], kReady, m);
+    }
+  }
+  metrics.set_final_model(server.model_vector());
+  return metrics;
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,138 @@
+#include "fl/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace airfedga::fl {
+
+void FLConfig::validate() const {
+  if (train == nullptr || test == nullptr)
+    throw std::invalid_argument("FLConfig: train/test datasets required");
+  if (!model_factory) throw std::invalid_argument("FLConfig: model factory required");
+  if (partition.empty()) throw std::invalid_argument("FLConfig: partition required");
+  if (learning_rate <= 0.0f) throw std::invalid_argument("FLConfig: learning rate must be > 0");
+  if (local_steps == 0) throw std::invalid_argument("FLConfig: local_steps must be >= 1");
+  if (time_budget <= 0.0) throw std::invalid_argument("FLConfig: time budget must be > 0");
+  if (eval_every == 0) throw std::invalid_argument("FLConfig: eval_every must be >= 1");
+  if (energy_cap <= 0.0) throw std::invalid_argument("FLConfig: energy cap must be > 0");
+}
+
+Driver::Driver(const FLConfig& cfg)
+    : cfg_(&cfg),
+      scratch_(cfg.model_factory()),
+      stats_(*cfg.train, cfg.partition),
+      cluster_(cfg.partition.size(), cfg.cluster),
+      fading_(cfg.partition.size(), cfg.fading),
+      aircomp_([&] {
+        auto c = cfg.aircomp;
+        c.seed = util::splitmix64(cfg.seed ^ 0xA17C0);  // decorrelate from weights
+        return c;
+      }()),
+      latency_(cfg.latency) {
+  cfg.validate();
+  model_dim_ = scratch_.num_parameters();
+
+  util::Rng root(cfg.seed);
+  workers_.reserve(cfg.partition.size());
+  for (std::size_t i = 0; i < cfg.partition.size(); ++i)
+    workers_.emplace_back(i, *cfg.train, cfg.partition[i], root.fork(1000 + i));
+
+  // Fixed evaluation subset: the first eval_samples test points (the test
+  // set is already shuffled at generation time).
+  const std::size_t n_eval = std::min(cfg.eval_samples, cfg.test->size());
+  if (n_eval == 0) throw std::invalid_argument("Driver: empty evaluation set");
+  std::vector<std::size_t> idx(n_eval);
+  for (std::size_t i = 0; i < n_eval; ++i) idx[i] = i;
+  eval_xs_ = ml::gather_rows(cfg.test->xs, idx);
+  eval_ys_.assign(cfg.test->ys.begin(), cfg.test->ys.begin() + static_cast<std::ptrdiff_t>(n_eval));
+}
+
+std::vector<float> Driver::initial_model() {
+  util::Rng init_rng = util::Rng(cfg_->seed).fork(0x1717);
+  ml::Model fresh = cfg_->model_factory();
+  fresh.init(init_rng);
+  return fresh.parameters();
+}
+
+ml::EvalResult Driver::evaluate(std::span<const float> model) {
+  scratch_.set_parameters(model);
+  return scratch_.evaluate(eval_xs_, eval_ys_, cfg_->eval_batch);
+}
+
+core::PowerControlResult Driver::power_for_group(const std::vector<std::size_t>& members,
+                                                 std::size_t round) {
+  if (members.empty()) throw std::invalid_argument("power_for_group: empty group");
+  const auto gains = fading_.gains(round);
+  core::PowerControlInput in;
+  in.sigma0_sq = cfg_->aircomp.sigma0_sq;
+  double w_sq = 0.0;
+  double group_data = 0.0;
+  for (auto m : members) {
+    const Worker& w = workers_.at(m);
+    if (!w.has_model())
+      throw std::logic_error("power_for_group: member has no trained local model");
+    w_sq = std::max(w_sq, w.model_norm_sq());
+    group_data += static_cast<double>(w.data_size());
+    in.gains.push_back(gains.at(m));
+    in.data_sizes.push_back(static_cast<double>(w.data_size()));
+    in.energy_caps.push_back(cfg_->energy_cap);
+  }
+  in.model_bound_sq = std::max(w_sq, 1e-12);
+  in.group_data = group_data;
+  return core::optimize_power(in);
+}
+
+std::vector<float> Driver::aircomp_aggregate(const std::vector<std::size_t>& members,
+                                             std::span<const float> w_prev, std::size_t round,
+                                             double& energy_joules) {
+  const auto pc = power_for_group(members, round);
+  const auto gains = fading_.gains(round);
+
+  channel::AirCompChannel::Input in;
+  in.w_prev = w_prev;
+  in.sigma = pc.sigma;
+  in.eta = pc.eta;
+  in.total_data = static_cast<double>(stats_.total_size());
+  for (auto m : members) {
+    const Worker& w = workers_.at(m);
+    in.local_models.push_back(w.local_model());
+    in.data_sizes.push_back(static_cast<double>(w.data_size()));
+    in.gains.push_back(gains.at(m));
+  }
+  auto out = aircomp_.aggregate(in);
+  for (double e : out.energies) energy_joules += e;
+  return std::move(out.w_next);
+}
+
+std::vector<float> Driver::oma_aggregate(const std::vector<std::size_t>& members,
+                                         std::span<const float> w_prev) const {
+  std::vector<std::span<const float>> models;
+  std::vector<double> sizes;
+  for (auto m : members) {
+    const Worker& w = workers_.at(m);
+    if (!w.has_model()) throw std::logic_error("oma_aggregate: member has no model");
+    models.push_back(w.local_model());
+    sizes.push_back(static_cast<double>(w.data_size()));
+  }
+  return channel::AirCompChannel::ideal_aggregate(w_prev, models, sizes,
+                                                  static_cast<double>(stats_.total_size()));
+}
+
+void Driver::maybe_record(Metrics& metrics, std::size_t round, double time, double energy,
+                          double staleness, std::span<const float> model) {
+  if (round != 1 && round % cfg_->eval_every != 0) return;
+  const auto ev = evaluate(model);
+  metrics.record({time, round, ev.loss, ev.accuracy, energy, staleness});
+}
+
+bool Driver::should_stop(const Metrics& metrics) const {
+  if (cfg_->stop_at_accuracy < 0.0) return false;
+  const auto& pts = metrics.points();
+  if (pts.size() < 3) return false;
+  const double mean3 = (pts[pts.size() - 1].accuracy + pts[pts.size() - 2].accuracy +
+                        pts[pts.size() - 3].accuracy) / 3.0;
+  return mean3 >= cfg_->stop_at_accuracy;
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/aircomp.hpp"
+#include "channel/fading.hpp"
+#include "channel/latency.hpp"
+#include "core/power_control.hpp"
+#include "data/data_stats.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "fl/metrics.hpp"
+#include "fl/worker.hpp"
+#include "ml/model.hpp"
+#include "sim/cluster.hpp"
+
+namespace airfedga::fl {
+
+/// Everything a federated training run needs (paper §VI-A system setup).
+/// The same config drives all five mechanisms so comparisons differ only
+/// in the mechanism itself.
+struct FLConfig {
+  // Problem
+  const data::Dataset* train = nullptr;
+  const data::Dataset* test = nullptr;
+  data::Partition partition;        ///< per-worker sample indices
+  ml::ModelFactory model_factory;
+
+  // Local training (Eq. 4)
+  float learning_rate = 0.05f;
+  std::size_t local_steps = 1;
+  std::size_t batch_size = 32;      ///< 0 = full local shard (paper's setting)
+
+  // Heterogeneity and wireless substrate (§VI-A2)
+  sim::ClusterModel::Config cluster;
+  channel::LatencyConfig latency;
+  channel::FadingChannel::Config fading;
+  channel::AirCompChannel::Config aircomp;
+  double energy_cap = 10.0;         ///< \hat{E}_i per worker per round (J)
+
+  // Run control
+  double time_budget = 5000.0;      ///< virtual seconds
+  std::size_t max_rounds = 1000000;
+  std::size_t eval_every = 10;      ///< evaluate every k global rounds
+  std::size_t eval_samples = 1000;  ///< test subset size used for curves
+  std::size_t eval_batch = 256;
+  double stop_at_accuracy = -1.0;   ///< early stop once smoothed acc >= this
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Shared runtime for one mechanism run: workers, scratch model, channel
+/// instances, the evaluation subset, and the common bookkeeping all five
+/// mechanisms need. Mechanisms own a Driver for the duration of `run`.
+class Driver {
+ public:
+  explicit Driver(const FLConfig& cfg);
+
+  [[nodiscard]] const FLConfig& config() const { return *cfg_; }
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
+
+  std::vector<Worker>& workers() { return workers_; }
+  Worker& worker(std::size_t i) { return workers_.at(i); }
+  ml::Model& scratch() { return scratch_; }
+  channel::AirCompChannel& aircomp() { return aircomp_; }
+
+  [[nodiscard]] const data::DataStats& stats() const { return stats_; }
+  [[nodiscard]] const sim::ClusterModel& cluster() const { return cluster_; }
+  [[nodiscard]] const channel::FadingChannel& fading() const { return fading_; }
+  [[nodiscard]] const channel::LatencyModel& latency() const { return latency_; }
+
+  /// Deterministic initial global model (same seed => same start for every
+  /// mechanism, so curves are comparable).
+  [[nodiscard]] std::vector<float> initial_model();
+
+  /// Test loss/accuracy of a flat parameter vector on the eval subset.
+  ml::EvalResult evaluate(std::span<const float> model);
+
+  /// Per-round power control (Alg. 2) for a group about to aggregate:
+  /// gathers this round's gains and member model-norm bound W_t, and
+  /// returns (sigma*, eta*, C).
+  core::PowerControlResult power_for_group(const std::vector<std::size_t>& members,
+                                           std::size_t round);
+
+  /// Runs Eq. (9)-(10) over the air for `members` and returns the new
+  /// global model; accumulates per-round energy into `energy_joules`.
+  std::vector<float> aircomp_aggregate(const std::vector<std::size_t>& members,
+                                       std::span<const float> w_prev, std::size_t round,
+                                       double& energy_joules);
+
+  /// Error-free OMA aggregation (Eq. 8) over `members`.
+  std::vector<float> oma_aggregate(const std::vector<std::size_t>& members,
+                                   std::span<const float> w_prev) const;
+
+  /// Helper for the shared early-stop rule: true once the mean of the last
+  /// 3 evaluation accuracies reaches cfg.stop_at_accuracy (if enabled).
+  [[nodiscard]] bool should_stop(const Metrics& metrics) const;
+
+  /// Evaluates and records a metric point if `round` falls on the eval
+  /// cadence (every cfg.eval_every rounds, plus round 1).
+  void maybe_record(Metrics& metrics, std::size_t round, double time, double energy,
+                    double staleness, std::span<const float> model);
+
+ private:
+  const FLConfig* cfg_;
+  std::vector<Worker> workers_;
+  ml::Model scratch_;
+  std::size_t model_dim_ = 0;
+  data::DataStats stats_;
+  sim::ClusterModel cluster_;
+  channel::FadingChannel fading_;
+  channel::AirCompChannel aircomp_;
+  channel::LatencyModel latency_;
+  ml::Tensor eval_xs_;
+  std::vector<int> eval_ys_;
+};
+
+/// Interface shared by the five mechanisms (Table I of the paper).
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual Metrics run(const FLConfig& cfg) = 0;
+};
+
+}  // namespace airfedga::fl

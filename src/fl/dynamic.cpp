@@ -1,0 +1,52 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "fl/mechanisms.hpp"
+#include "util/stats.hpp"
+
+namespace airfedga::fl {
+
+Metrics DynamicAirComp::run(const FLConfig& cfg) {
+  if (selection_quantile_ < 0.0 || selection_quantile_ >= 1.0)
+    throw std::invalid_argument("DynamicAirComp: selection quantile must be in [0,1)");
+  Driver driver(cfg);
+  Metrics metrics;
+
+  std::vector<float> w = driver.initial_model();
+  const auto local_times = driver.cluster().local_times();
+  const double upload_time = driver.latency().aircomp_upload_seconds(driver.model_dim());
+
+  double now = 0.0;
+  double energy = 0.0;
+  for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
+    // Channel-aware scheduling: admit workers whose gain this round clears
+    // the configured quantile. Strong channels need the least transmit
+    // power for the common sigma_t (Eq. 6), so this is the energy-friendly
+    // subset; it is re-drawn every round with the fading, which is what
+    // makes the participating data distribution wander under label skew.
+    const auto gains = driver.fading().gains(t);
+    const double cutoff = util::quantile(gains, selection_quantile_);
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < gains.size(); ++i)
+      if (gains[i] >= cutoff) selected.push_back(i);
+    if (selected.empty()) continue;  // cannot happen with quantile < 1; defensive
+
+    double compute_time = 0.0;
+    for (auto i : selected) compute_time = std::max(compute_time, local_times[i]);
+    const double round_time = compute_time + upload_time;
+    if (now + round_time > cfg.time_budget) break;
+
+    for (auto i : selected)
+      driver.worker(i).local_update(driver.scratch(), w, cfg.learning_rate, cfg.local_steps,
+                                    cfg.batch_size);
+    now += round_time;
+    w = driver.aircomp_aggregate(selected, w, t, energy);
+
+    driver.maybe_record(metrics, t, now, energy, /*staleness=*/0.0, w);
+    if (driver.should_stop(metrics)) break;
+  }
+  metrics.set_final_model(std::move(w));
+  return metrics;
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,57 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "fl/mechanisms.hpp"
+#include "fl/server.hpp"
+#include "sim/event_queue.hpp"
+
+namespace airfedga::fl {
+
+Metrics FedAsync::run(const FLConfig& cfg) {
+  if (mixing_ <= 0.0 || mixing_ > 1.0)
+    throw std::invalid_argument("FedAsync: mixing must be in (0, 1]");
+  if (damping_ < 0.0) throw std::invalid_argument("FedAsync: damping must be >= 0");
+
+  Driver driver(cfg);
+  Metrics metrics;
+
+  const auto local_times = driver.cluster().local_times();
+  // Every worker is its own "group": the ParameterServer's per-group
+  // staleness bookkeeping applies verbatim with singleton groups.
+  ParameterServer server(driver.initial_model(), driver.num_workers());
+  const double upload_time = driver.latency().oma_upload_seconds(driver.model_dim(), 1);
+
+  sim::EventQueue queue;
+  for (std::size_t i = 0; i < driver.num_workers(); ++i) {
+    driver.worker(i).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
+                                  cfg.local_steps, cfg.batch_size);
+    queue.schedule(local_times[i] + upload_time, /*kind=*/0, i);
+  }
+
+  while (!queue.empty()) {
+    const auto ev = queue.pop();
+    if (ev.time > cfg.time_budget) break;
+    const std::size_t i = ev.actor;
+
+    const auto tau = static_cast<double>(server.staleness(i));
+    const double alpha = mixing_ / std::pow(1.0 + tau, damping_);
+    const auto w_prev = server.global_model();
+    const auto wi = driver.worker(i).local_model();
+    std::vector<float> w_next(w_prev.size());
+    for (std::size_t d = 0; d < w_next.size(); ++d)
+      w_next[d] = static_cast<float>((1.0 - alpha) * w_prev[d] + alpha * wi[d]);
+
+    server.complete_round(i, std::move(w_next));
+    driver.maybe_record(metrics, server.round(), ev.time, /*energy=*/0.0, tau,
+                        server.global_model());
+    if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
+
+    driver.worker(i).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
+                                  cfg.local_steps, cfg.batch_size);
+    queue.schedule(ev.time + local_times[i] + upload_time, /*kind=*/0, i);
+  }
+  metrics.set_final_model(server.model_vector());
+  return metrics;
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,40 @@
+#include <algorithm>
+#include <numeric>
+
+#include "fl/mechanisms.hpp"
+
+namespace airfedga::fl {
+
+Metrics FedAvg::run(const FLConfig& cfg) {
+  Driver driver(cfg);
+  Metrics metrics;
+
+  std::vector<float> w = driver.initial_model();
+  std::vector<std::size_t> everyone(driver.num_workers());
+  std::iota(everyone.begin(), everyone.end(), std::size_t{0});
+
+  const auto local_times = driver.cluster().local_times();
+  const double compute_time = *std::max_element(local_times.begin(), local_times.end());
+  const double upload_time =
+      driver.latency().oma_upload_seconds(driver.model_dim(), driver.num_workers());
+  const double round_time = compute_time + upload_time;
+
+  double now = 0.0;
+  for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
+    if (now + round_time > cfg.time_budget) break;
+    // Synchronous round: every worker trains from w_{t-1} (Eq. 4)...
+    for (auto& worker : driver.workers())
+      worker.local_update(driver.scratch(), w, cfg.learning_rate, cfg.local_steps,
+                          cfg.batch_size);
+    now += round_time;
+    // ... and the PS forms the exact weighted average (OMA is reliable).
+    w = driver.oma_aggregate(everyone, w);
+
+    driver.maybe_record(metrics, t, now, /*energy=*/0.0, /*staleness=*/0.0, w);
+    if (driver.should_stop(metrics)) break;
+  }
+  metrics.set_final_model(std::move(w));
+  return metrics;
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <optional>
+
+#include "core/grouping.hpp"
+#include "fl/driver.hpp"
+
+namespace airfedga::fl {
+
+/// FedAvg [11]: synchronous, full participation, OMA uplink. Round time is
+/// max_i l_i plus N serialized uploads — the baseline whose round duration
+/// grows linearly with N (Fig. 10).
+class FedAvg : public Mechanism {
+ public:
+  [[nodiscard]] std::string name() const override { return "FedAvg"; }
+  Metrics run(const FLConfig& cfg) override;
+};
+
+/// Air-FedAvg [18]: synchronous, full participation, AirComp uplink with
+/// optimal power control (Alg. 2 applied to the full worker set).
+class AirFedAvg : public Mechanism {
+ public:
+  [[nodiscard]] std::string name() const override { return "Air-FedAvg"; }
+  Metrics run(const FLConfig& cfg) override;
+};
+
+/// Dynamic [31]: synchronous AirComp with per-round subset scheduling.
+/// Each round, the scheduler admits the workers whose current channel gain
+/// is above the round's `selection_quantile` (energy-aware selection:
+/// strong channels need less transmit power, Eq. 6); the rest stay idle.
+/// Selection ignores data distribution, which is what makes its curves
+/// jitter under label skew (§VI-B1).
+class DynamicAirComp : public Mechanism {
+ public:
+  explicit DynamicAirComp(double selection_quantile = 0.5)
+      : selection_quantile_(selection_quantile) {}
+  [[nodiscard]] std::string name() const override { return "Dynamic"; }
+  Metrics run(const FLConfig& cfg) override;
+
+ private:
+  double selection_quantile_;
+};
+
+/// TiFL [26]: tier-based group-asynchronous FL over OMA. Tiers are built
+/// from response times only (no data-distribution awareness); uploads
+/// within a tier are serialized OMA transfers.
+class TiFL : public Mechanism {
+ public:
+  explicit TiFL(std::size_t num_tiers = 5) : num_tiers_(num_tiers) {}
+  [[nodiscard]] std::string name() const override { return "TiFL"; }
+  Metrics run(const FLConfig& cfg) override;
+
+  /// Tiers chosen by the last `run` call.
+  [[nodiscard]] const data::WorkerGroups& tiers() const { return tiers_; }
+
+ private:
+  std::size_t num_tiers_;
+  data::WorkerGroups tiers_;
+};
+
+/// FedAsync [21] (related work, §II-A): fully asynchronous FL over OMA.
+/// Every worker updates the global model the moment it finishes local
+/// training, with the staleness-damped mixing weight
+///   w_t = (1 - alpha_tau) w_{t-1} + alpha_tau w_i,
+///   alpha_tau = mixing / (1 + tau)^damping.
+/// This is the xi = 0 corner of Fig. 8: no over-the-air gain (one worker
+/// per upload) and maximal staleness exposure.
+class FedAsync : public Mechanism {
+ public:
+  explicit FedAsync(double mixing = 0.6, double damping = 0.5)
+      : mixing_(mixing), damping_(damping) {}
+  [[nodiscard]] std::string name() const override { return "FedAsync"; }
+  Metrics run(const FLConfig& cfg) override;
+
+ private:
+  double mixing_;
+  double damping_;
+};
+
+/// Air-FedGA (Alg. 1): the paper's contribution. Workers are grouped by
+/// Alg. 3; each group aggregates over the air (Eqs. 9-10) with per-round
+/// power control (Alg. 2); groups update the global model asynchronously
+/// with staleness tracked by the parameter server.
+class AirFedGA : public Mechanism {
+ public:
+  struct Options {
+    core::GroupingConfig grouping;
+    /// Bypass Alg. 3 with a fixed grouping (ablations, Fig. 8 sweeps).
+    std::optional<data::WorkerGroups> groups_override;
+    /// Extension (off by default): damp a group's update by
+    /// 1/(1+tau)^staleness_damping, FedAsync-style.
+    double staleness_damping = 0.0;
+    /// Calibrate the planning bound W^2 (Assumption 4) from the actual
+    /// initial model norm instead of the generic default, so the grouping
+    /// objective's aggregation-error term matches the deployed model.
+    bool auto_calibrate_model_bound = true;
+  };
+
+  AirFedGA() = default;
+  explicit AirFedGA(Options opts) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] std::string name() const override { return "Air-FedGA"; }
+  Metrics run(const FLConfig& cfg) override;
+
+  /// Grouping used by the last `run` call (Fig. 7 inspects this).
+  [[nodiscard]] const data::WorkerGroups& groups() const { return groups_; }
+
+ private:
+  Options opts_;
+  data::WorkerGroups groups_;
+};
+
+}  // namespace airfedga::fl

@@ -1,0 +1,65 @@
+#include "fl/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace airfedga::fl {
+
+void Metrics::record(MetricPoint p) {
+  if (!points_.empty() && p.time < points_.back().time)
+    throw std::invalid_argument("Metrics::record: time went backwards");
+  points_.push_back(p);
+}
+
+namespace {
+std::size_t first_index_reaching(const std::vector<MetricPoint>& pts, double target,
+                                 std::size_t window) {
+  std::vector<double> acc(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) acc[i] = pts[i].accuracy;
+  const auto smooth = util::moving_average(acc, std::max<std::size_t>(1, window));
+  for (std::size_t i = 0; i < smooth.size(); ++i)
+    if (smooth[i] >= target) return i;
+  return pts.size();
+}
+}  // namespace
+
+double Metrics::time_to_accuracy(double target, std::size_t window) const {
+  const auto i = first_index_reaching(points_, target, window);
+  return i < points_.size() ? points_[i].time : -1.0;
+}
+
+double Metrics::energy_to_accuracy(double target, std::size_t window) const {
+  const auto i = first_index_reaching(points_, target, window);
+  return i < points_.size() ? points_[i].energy : -1.0;
+}
+
+double Metrics::final_accuracy() const { return points_.empty() ? 0.0 : points_.back().accuracy; }
+double Metrics::final_loss() const { return points_.empty() ? 0.0 : points_.back().loss; }
+double Metrics::total_time() const { return points_.empty() ? 0.0 : points_.back().time; }
+double Metrics::total_energy() const { return points_.empty() ? 0.0 : points_.back().energy; }
+std::size_t Metrics::total_rounds() const { return points_.empty() ? 0 : points_.back().round; }
+
+double Metrics::average_round_time() const {
+  if (points_.empty() || points_.back().round == 0) return 0.0;
+  return points_.back().time / static_cast<double>(points_.back().round);
+}
+
+double Metrics::max_staleness() const {
+  double m = 0.0;
+  for (const auto& p : points_) m = std::max(m, p.staleness);
+  return m;
+}
+
+void Metrics::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Metrics::write_csv: cannot open " + path);
+  f << "time,round,loss,accuracy,energy,staleness\n";
+  for (const auto& p : points_)
+    f << p.time << ',' << p.round << ',' << p.loss << ',' << p.accuracy << ',' << p.energy
+      << ',' << p.staleness << '\n';
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace airfedga::fl {
+
+/// One evaluation snapshot of a training run, in *virtual* (simulated)
+/// seconds — the clock the paper's x-axes use.
+struct MetricPoint {
+  double time = 0.0;        ///< virtual seconds since training start
+  std::size_t round = 0;    ///< global aggregation count so far
+  double loss = 0.0;        ///< test loss of the global model
+  double accuracy = 0.0;    ///< test accuracy of the global model
+  double energy = 0.0;      ///< cumulative aggregation energy (J, Eq. 7)
+  double staleness = 0.0;   ///< tau_t of the round that produced this model
+};
+
+/// Time series recorded by every mechanism run; provides the queries the
+/// paper's evaluation section needs (time/energy to reach an accuracy,
+/// final metrics, average round duration).
+class Metrics {
+ public:
+  void record(MetricPoint p);
+
+  [[nodiscard]] const std::vector<MetricPoint>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// First virtual time at which the `window`-point moving average of
+  /// accuracy reaches `target` ("attains a stable X%" in §VI-B1).
+  /// Returns a negative value when the target is never reached.
+  [[nodiscard]] double time_to_accuracy(double target, std::size_t window = 3) const;
+
+  /// Cumulative aggregation energy when the accuracy target is first
+  /// reached (Fig. 9). Negative when never reached.
+  [[nodiscard]] double energy_to_accuracy(double target, std::size_t window = 3) const;
+
+  [[nodiscard]] double final_accuracy() const;
+  [[nodiscard]] double final_loss() const;
+  [[nodiscard]] double total_time() const;
+  [[nodiscard]] double total_energy() const;
+  [[nodiscard]] std::size_t total_rounds() const;
+
+  /// Mean virtual time between consecutive recorded rounds (Fig. 10 left).
+  [[nodiscard]] double average_round_time() const;
+
+  /// Maximum staleness observed across the run.
+  [[nodiscard]] double max_staleness() const;
+
+  void write_csv(const std::string& path) const;
+
+  /// The trained global model w_T (flat parameter vector); set by every
+  /// mechanism before returning (Alg. 1 line 32 "return global model").
+  [[nodiscard]] const std::vector<float>& final_model() const { return final_model_; }
+  void set_final_model(std::vector<float> model) { final_model_ = std::move(model); }
+
+ private:
+  std::vector<MetricPoint> points_;
+  std::vector<float> final_model_;
+};
+
+}  // namespace airfedga::fl

@@ -1,0 +1,39 @@
+#include "fl/server.hpp"
+
+#include <stdexcept>
+
+namespace airfedga::fl {
+
+ParameterServer::ParameterServer(std::vector<float> initial_model, std::size_t num_groups)
+    : model_(std::move(initial_model)), ready_(num_groups, 0), base_(num_groups, 0) {
+  if (model_.empty()) throw std::invalid_argument("ParameterServer: empty initial model");
+  if (num_groups == 0) throw std::invalid_argument("ParameterServer: zero groups");
+}
+
+bool ParameterServer::ready(std::size_t group, std::size_t group_size) {
+  if (group >= ready_.size()) throw std::out_of_range("ParameterServer::ready: bad group");
+  if (group_size == 0) throw std::invalid_argument("ParameterServer::ready: empty group");
+  ++ready_[group];
+  if (ready_[group] > group_size)
+    throw std::logic_error("ParameterServer::ready: more READY messages than members");
+  return ready_[group] == group_size;
+}
+
+std::size_t ParameterServer::staleness(std::size_t group) const {
+  const std::size_t base = base_.at(group);
+  // This aggregation becomes round t = round_ + 1; tau = (t-1) - base.
+  return round_ - base;
+}
+
+void ParameterServer::complete_round(std::size_t group, std::vector<float> new_model) {
+  if (group >= ready_.size())
+    throw std::out_of_range("ParameterServer::complete_round: bad group");
+  if (new_model.size() != model_.size())
+    throw std::invalid_argument("ParameterServer::complete_round: model size changed");
+  model_ = std::move(new_model);
+  ++round_;
+  ready_[group] = 0;
+  base_[group] = round_;
+}
+
+}  // namespace airfedga::fl

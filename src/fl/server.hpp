@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace airfedga::fl {
+
+/// Parameter-server state of Alg. 1: the global model estimate w_t, the
+/// global round counter t, the per-group READY counters r_j (intra-group
+/// alignment, Alg. 1 lines 17-29), and the per-group record of which model
+/// version each group last received (staleness bookkeeping, §III-B2).
+class ParameterServer {
+ public:
+  ParameterServer(std::vector<float> initial_model, std::size_t num_groups);
+
+  [[nodiscard]] std::span<const float> global_model() const { return model_; }
+  [[nodiscard]] const std::vector<float>& model_vector() const { return model_; }
+
+  /// Current completed round count t (0 before any aggregation).
+  [[nodiscard]] std::size_t round() const { return round_; }
+
+  /// Registers a READY message from a worker of `group` (Alg. 1 line 19).
+  /// Returns true when the group is now complete (r_j == |V_j|), i.e. the
+  /// server would send EXECUTE; the counter is reset in `complete_round`.
+  bool ready(std::size_t group, std::size_t group_size);
+
+  [[nodiscard]] std::size_t ready_count(std::size_t group) const { return ready_.at(group); }
+
+  /// The global round at which `group` last received the model (0 = w_0).
+  [[nodiscard]] std::size_t base_version(std::size_t group) const { return base_.at(group); }
+
+  /// Staleness tau of an aggregation performed *now* by `group`:
+  /// tau_t = (t - 1) - base_version, with t = round() + 1 the index this
+  /// aggregation will get. Matches the paper's Fig. 2 walkthrough.
+  [[nodiscard]] std::size_t staleness(std::size_t group) const;
+
+  /// Installs the aggregated model, increments t, resets r_j, and records
+  /// that `group` now holds version t (Alg. 1 lines 21-26).
+  void complete_round(std::size_t group, std::vector<float> new_model);
+
+ private:
+  std::vector<float> model_;
+  std::vector<std::size_t> ready_;
+  std::vector<std::size_t> base_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace airfedga::fl

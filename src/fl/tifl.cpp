@@ -1,0 +1,61 @@
+#include <algorithm>
+
+#include "fl/mechanisms.hpp"
+#include "fl/server.hpp"
+#include "sim/event_queue.hpp"
+
+namespace airfedga::fl {
+
+Metrics TiFL::run(const FLConfig& cfg) {
+  Driver driver(cfg);
+  Metrics metrics;
+
+  const auto local_times = driver.cluster().local_times();
+  const std::size_t tiers = std::max<std::size_t>(1, std::min(num_tiers_, driver.num_workers()));
+  tiers_ = core::tifl_grouping(local_times, tiers);
+
+  ParameterServer server(driver.initial_model(), tiers_.size());
+
+  // Tier round duration: slowest member plus the tier's serialized OMA
+  // uploads (Eq. 34 with the OMA upload term instead of L_u).
+  std::vector<double> tier_time(tiers_.size());
+  for (std::size_t j = 0; j < tiers_.size(); ++j) {
+    double compute = 0.0;
+    for (auto m : tiers_[j]) compute = std::max(compute, local_times[m]);
+    tier_time[j] =
+        compute + driver.latency().oma_upload_seconds(driver.model_dim(), tiers_[j].size());
+  }
+
+  auto train_tier = [&](std::size_t j) {
+    for (auto m : tiers_[j])
+      driver.worker(m).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
+                                    cfg.local_steps, cfg.batch_size);
+  };
+
+  sim::EventQueue queue;
+  for (std::size_t j = 0; j < tiers_.size(); ++j) {
+    train_tier(j);  // every tier starts from w_0 at time 0
+    queue.schedule(tier_time[j], /*kind=*/0, j);
+  }
+
+  while (!queue.empty()) {
+    const auto ev = queue.pop();
+    if (ev.time > cfg.time_budget) break;
+    const std::size_t j = ev.actor;
+
+    const auto tau = static_cast<double>(server.staleness(j));
+    auto w_new = driver.oma_aggregate(tiers_[j], server.global_model());
+    server.complete_round(j, std::move(w_new));
+
+    driver.maybe_record(metrics, server.round(), ev.time, /*energy=*/0.0, tau,
+                        server.global_model());
+    if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
+
+    train_tier(j);  // tier received w_t, next round starts immediately
+    queue.schedule(ev.time + tier_time[j], /*kind=*/0, j);
+  }
+  metrics.set_final_model(server.model_vector());
+  return metrics;
+}
+
+}  // namespace airfedga::fl

@@ -1,0 +1,43 @@
+#include "fl/worker.hpp"
+
+#include <stdexcept>
+
+#include "ml/tensor.hpp"
+
+namespace airfedga::fl {
+
+Worker::Worker(std::size_t id, const data::Dataset& train, std::vector<std::size_t> shard,
+               util::Rng rng)
+    : id_(id), train_(&train), shard_(std::move(shard)), rng_(rng) {
+  if (shard_.empty()) throw std::invalid_argument("Worker: empty data shard");
+  for (auto idx : shard_)
+    if (idx >= train.size()) throw std::invalid_argument("Worker: shard index out of range");
+}
+
+std::vector<std::size_t> Worker::sample_batch(std::size_t batch_size) {
+  if (batch_size == 0 || batch_size >= shard_.size()) return shard_;
+  auto pick = rng_.sample_without_replacement(shard_.size(), batch_size);
+  std::vector<std::size_t> batch(pick.size());
+  for (std::size_t i = 0; i < pick.size(); ++i) batch[i] = shard_[pick[i]];
+  return batch;
+}
+
+double Worker::local_update(ml::Model& scratch, std::span<const float> global_model, float lr,
+                            std::size_t steps, std::size_t batch_size) {
+  if (steps == 0) throw std::invalid_argument("Worker::local_update: steps must be >= 1");
+  scratch.set_parameters(global_model);
+  double loss_sum = 0.0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto batch = sample_batch(batch_size);
+    ml::Tensor xb = ml::gather_rows(train_->xs, batch);
+    std::vector<int> yb(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) yb[i] = train_->ys[batch[i]];
+    loss_sum += scratch.train_step(xb, yb, lr);
+  }
+  local_model_ = scratch.parameters();
+  return loss_sum / static_cast<double>(steps);
+}
+
+double Worker::model_norm_sq() const { return ml::squared_norm(local_model_); }
+
+}  // namespace airfedga::fl

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/model.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::fl {
+
+/// One edge device. It owns its data shard (indices into the shared
+/// training set) and the latest *local* model w^i_t as a flat vector.
+///
+/// A worker does not own a Model instance: all workers of a mechanism share
+/// one scratch model (weights are swapped in and out as flat vectors),
+/// which keeps memory at one model per mechanism instead of one per worker.
+class Worker {
+ public:
+  Worker(std::size_t id, const data::Dataset& train, std::vector<std::size_t> shard,
+         util::Rng rng);
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] std::size_t data_size() const { return shard_.size(); }
+
+  /// Local update rule (Eq. 4 generalized to `steps` mini-batch SGD steps):
+  /// starting from the received global model, runs `steps` SGD steps with
+  /// step size `lr` on mini-batches of `batch_size` samples drawn from the
+  /// local shard (0 = the full shard, the paper's full-gradient setting).
+  /// The result is stored as the worker's local model. Returns the mean
+  /// training loss over the executed steps.
+  double local_update(ml::Model& scratch, std::span<const float> global_model, float lr,
+                      std::size_t steps, std::size_t batch_size);
+
+  /// w^i_t, the latest local model (empty before the first update).
+  [[nodiscard]] std::span<const float> local_model() const { return local_model_; }
+  [[nodiscard]] bool has_model() const { return !local_model_.empty(); }
+
+  /// Squared L2 norm of the local model (for the W_t bound of Assumption 4).
+  [[nodiscard]] double model_norm_sq() const;
+
+  [[nodiscard]] const std::vector<std::size_t>& shard() const { return shard_; }
+
+ private:
+  std::vector<std::size_t> sample_batch(std::size_t batch_size);
+
+  std::size_t id_;
+  const data::Dataset* train_;
+  std::vector<std::size_t> shard_;
+  std::vector<float> local_model_;
+  util::Rng rng_;
+};
+
+}  // namespace airfedga::fl

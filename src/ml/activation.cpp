@@ -1,0 +1,42 @@
+#include "ml/activation.hpp"
+
+#include <stdexcept>
+
+namespace airfedga::ml {
+
+Tensor ReLU::forward(const Tensor& x) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* px = x.data().data();
+  float* pm = mask_.data().data();
+  float* py = y.data().data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool pos = px[i] > 0.0f;
+    pm[i] = pos ? 1.0f : 0.0f;
+    py[i] = pos ? px[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (grad_out.size() != mask_.size())
+    throw std::invalid_argument("ReLU::backward: shape mismatch with cached forward");
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data().data();
+  const float* pm = mask_.data().data();
+  float* pd = dx.data().data();
+  for (std::size_t i = 0; i < grad_out.size(); ++i) pd[i] = pg[i] * pm[i];
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  input_shape_ = x.shape();
+  const std::size_t batch = x.dim(0);
+  return x.reshaped({batch, x.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(input_shape_);
+}
+
+}  // namespace airfedga::ml

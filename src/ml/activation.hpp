@@ -1,0 +1,29 @@
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace airfedga::ml {
+
+/// Elementwise rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Shape adapter from NCHW activations to (batch, features) rows.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace airfedga::ml

@@ -1,0 +1,139 @@
+#include "ml/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace airfedga::ml {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t padding)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      pad_(padding),
+      weight_({out_channels, in_channels * kernel * kernel}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels * kernel * kernel}),
+      bias_grad_({out_channels}) {
+  if (kernel == 0 || in_channels == 0 || out_channels == 0)
+    throw std::invalid_argument("Conv2D: zero-sized configuration");
+}
+
+void Conv2D::init(util::Rng& rng) {
+  const float fan_in = static_cast<float>(cin_ * k_ * k_);
+  const float stddev = std::sqrt(2.0f / fan_in);
+  for (auto& v : weight_.data()) v = static_cast<float>(rng.normal(0.0, stddev));
+  bias_.fill(0.0f);
+}
+
+Tensor Conv2D::im2col(const Tensor& x, std::size_t sample) const {
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_height(h), ow = out_width(w);
+  Tensor cols({cin_ * k_ * k_, oh * ow});
+  float* pc = cols.data().data();
+  for (std::size_t c = 0; c < cin_; ++c) {
+    for (std::size_t ki = 0; ki < k_; ++ki) {
+      for (std::size_t kj = 0; kj < k_; ++kj) {
+        const std::size_t row = (c * k_ + ki) * k_ + kj;
+        float* dst = pc + row * (oh * ow);
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
+                                    static_cast<std::ptrdiff_t>(pad_);
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
+                                      static_cast<std::ptrdiff_t>(pad_);
+            const bool in_bounds = ii >= 0 && jj >= 0 &&
+                                   ii < static_cast<std::ptrdiff_t>(h) &&
+                                   jj < static_cast<std::ptrdiff_t>(w);
+            dst[oi * ow + oj] =
+                in_bounds ? x.at4(sample, c, static_cast<std::size_t>(ii),
+                                  static_cast<std::size_t>(jj))
+                          : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void Conv2D::col2im(const Tensor& cols, Tensor& dx, std::size_t sample) const {
+  const std::size_t h = dx.dim(2), w = dx.dim(3);
+  const std::size_t oh = out_height(h), ow = out_width(w);
+  const float* pc = cols.data().data();
+  for (std::size_t c = 0; c < cin_; ++c) {
+    for (std::size_t ki = 0; ki < k_; ++ki) {
+      for (std::size_t kj = 0; kj < k_; ++kj) {
+        const std::size_t row = (c * k_ + ki) * k_ + kj;
+        const float* src = pc + row * (oh * ow);
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
+                                    static_cast<std::ptrdiff_t>(pad_);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
+                                      static_cast<std::ptrdiff_t>(pad_);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            dx.at4(sample, c, static_cast<std::size_t>(ii), static_cast<std::size_t>(jj)) +=
+                src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != cin_)
+    throw std::invalid_argument("Conv2D::forward: bad input shape " + x.shape_string());
+  input_cache_ = x;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_height(h), ow = out_width(w);
+  Tensor y({batch, cout_, oh, ow});
+  for (std::size_t n = 0; n < batch; ++n) {
+    Tensor cols = im2col(x, n);                // (cin*k*k, oh*ow)
+    Tensor out = matmul(weight_, cols);        // (cout, oh*ow)
+    float* py = &y.at4(n, 0, 0, 0);
+    const float* po = out.data().data();
+    for (std::size_t c = 0; c < cout_; ++c) {
+      const float b = bias_[c];
+      for (std::size_t i = 0; i < oh * ow; ++i) py[c * oh * ow + i] = po[c * oh * ow + i] + b;
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = input_cache_;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_height(h), ow = out_width(w);
+  if (grad_out.rank() != 4 || grad_out.dim(1) != cout_ || grad_out.dim(2) != oh ||
+      grad_out.dim(3) != ow)
+    throw std::invalid_argument("Conv2D::backward: bad gradient shape");
+
+  Tensor dx(x.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    // View of this sample's output gradient as a (cout, oh*ow) matrix.
+    Tensor gy({cout_, oh * ow});
+    const float* pg = grad_out.data().data() + n * cout_ * oh * ow;
+    std::copy(pg, pg + cout_ * oh * ow, gy.data().data());
+
+    Tensor cols = im2col(x, n);
+    Tensor dw = matmul_nt(gy, cols);  // (cout, cin*k*k)
+    add_inplace(weight_grad_, dw);
+    for (std::size_t c = 0; c < cout_; ++c) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < oh * ow; ++i) acc += gy.at2(c, i);
+      bias_grad_[c] += acc;
+    }
+    Tensor dcols = matmul_tn(weight_, gy);  // (cin*k*k, oh*ow)
+    col2im(dcols, dx, n);
+  }
+  return dx;
+}
+
+std::vector<ParamView> Conv2D::params() {
+  return {{weight_.data(), weight_grad_.data()}, {bias_.data(), bias_grad_.data()}};
+}
+
+}  // namespace airfedga::ml

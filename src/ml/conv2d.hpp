@@ -1,0 +1,39 @@
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace airfedga::ml {
+
+/// 2-D convolution over NCHW activations (stride 1, symmetric zero padding),
+/// implemented with im2col + GEMM, the standard CPU lowering.
+///
+/// Kernel tensor shape: (out_channels, in_channels, k, k).
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t padding = 0);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+
+  [[nodiscard]] std::size_t out_height(std::size_t h) const { return h + 2 * pad_ - k_ + 1; }
+  [[nodiscard]] std::size_t out_width(std::size_t w) const { return w + 2 * pad_ - k_ + 1; }
+
+ private:
+  /// Lowers one sample to a (C*k*k, OH*OW) patch matrix.
+  Tensor im2col(const Tensor& x, std::size_t sample) const;
+  /// Scatters a patch-matrix gradient back to input layout.
+  void col2im(const Tensor& cols, Tensor& dx, std::size_t sample) const;
+
+  std::size_t cin_, cout_, k_, pad_;
+  Tensor weight_;       // (cout, cin*k*k) flattened kernel matrix
+  Tensor bias_;         // (cout)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;  // (N, C, H, W)
+};
+
+}  // namespace airfedga::ml

@@ -1,0 +1,52 @@
+#include "ml/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace airfedga::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      weight_grad_({out_features, in_features}),
+      bias_grad_({out_features}) {
+  if (in_features == 0 || out_features == 0)
+    throw std::invalid_argument("Dense: zero-sized layer");
+}
+
+void Dense::init(util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_));
+  for (auto& v : weight_.data()) v = static_cast<float>(rng.normal(0.0, stddev));
+  bias_.fill(0.0f);
+}
+
+Tensor Dense::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument("Dense::forward: bad input shape " + x.shape_string());
+  input_cache_ = x;
+  Tensor y = matmul_nt(x, weight_);  // (B, out)
+  const std::size_t batch = y.dim(0);
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t j = 0; j < out_; ++j) y.at2(i, j) += bias_[j];
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  if (grad_out.rank() != 2 || grad_out.dim(1) != out_)
+    throw std::invalid_argument("Dense::backward: bad gradient shape");
+  // dW += dy^T x ; db += column sums of dy ; dx = dy W
+  Tensor dw = matmul_tn(grad_out, input_cache_);  // (out, in)
+  add_inplace(weight_grad_, dw);
+  const std::size_t batch = grad_out.dim(0);
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t j = 0; j < out_; ++j) bias_grad_[j] += grad_out.at2(i, j);
+  return matmul(grad_out, weight_);  // (B, in)
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{weight_.data(), weight_grad_.data()}, {bias_.data(), bias_grad_.data()}};
+}
+
+}  // namespace airfedga::ml

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace airfedga::ml {
+
+/// Fully connected layer: y = x W^T + b with W of shape (out, in).
+/// Initialized with He-normal weights (suits the ReLU nets in the paper).
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor weight_;       // (out, in)
+  Tensor bias_;         // (out)
+  Tensor weight_grad_;  // (out, in)
+  Tensor bias_grad_;    // (out)
+  Tensor input_cache_;  // (batch, in)
+};
+
+}  // namespace airfedga::ml

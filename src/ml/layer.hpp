@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::ml {
+
+/// View over one learnable parameter block and its gradient accumulator.
+struct ParamView {
+  std::span<float> value;
+  std::span<float> grad;
+};
+
+/// Base class for all layers.
+///
+/// Layers cache whatever they need from `forward` to compute `backward`;
+/// a layer instance therefore serves one in-flight (forward, backward)
+/// pair at a time, which matches the sequential training loop used by the
+/// federated workers (each mechanism keeps a single scratch model and
+/// swaps worker weights in and out as flat vectors).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after `forward`.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameter blocks (empty for stateless layers).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Re-draws the initial weights.
+  virtual void init(util::Rng&) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace airfedga::ml

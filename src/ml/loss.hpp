@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+
+#include "ml/tensor.hpp"
+
+namespace airfedga::ml {
+
+/// Softmax cross-entropy head (Eq. 1-2 of the paper use the same loss).
+///
+/// `forward` returns the mean negative log-likelihood over the batch;
+/// `backward` returns d(mean loss)/d(logits) = (softmax - onehot)/B.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (B, K); labels: B class indices in [0, K).
+  double forward(const Tensor& logits, std::span<const int> labels);
+
+  /// Gradient w.r.t. the logits of the last `forward` call.
+  Tensor backward() const;
+
+  /// Row-wise softmax probabilities of the last `forward` call.
+  [[nodiscard]] const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Fraction of rows whose argmax logit equals the label.
+double accuracy(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace airfedga::ml

@@ -1,0 +1,158 @@
+#include "ml/model.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace airfedga::ml {
+
+void Model::add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+void Model::init(util::Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+Tensor Model::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h);
+  return h;
+}
+
+std::size_t Model::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_)
+    for (const auto& p : const_cast<Layer&>(*l).params()) n += p.value.size();
+  return n;
+}
+
+std::vector<float> Model::parameters() const {
+  std::vector<float> flat;
+  flat.reserve(num_parameters());
+  for (const auto& l : layers_)
+    for (const auto& p : const_cast<Layer&>(*l).params())
+      flat.insert(flat.end(), p.value.begin(), p.value.end());
+  return flat;
+}
+
+void Model::set_parameters(std::span<const float> flat) {
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) {
+      if (off + p.value.size() > flat.size())
+        throw std::invalid_argument("Model::set_parameters: vector too short");
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                flat.begin() + static_cast<std::ptrdiff_t>(off + p.value.size()),
+                p.value.begin());
+      off += p.value.size();
+    }
+  }
+  if (off != flat.size())
+    throw std::invalid_argument("Model::set_parameters: vector length mismatch");
+}
+
+std::vector<float> Model::gradients() const {
+  std::vector<float> flat;
+  flat.reserve(num_parameters());
+  for (const auto& l : layers_)
+    for (const auto& p : const_cast<Layer&>(*l).params())
+      flat.insert(flat.end(), p.grad.begin(), p.grad.end());
+  return flat;
+}
+
+void Model::zero_grad() {
+  for (auto& l : layers_)
+    for (auto& p : l->params()) std::fill(p.grad.begin(), p.grad.end(), 0.0f);
+}
+
+double Model::compute_gradient(const Tensor& x, std::span<const int> y,
+                               std::vector<float>& grad_out) {
+  zero_grad();
+  Tensor logits = forward(x);
+  const double loss = loss_.forward(logits, y);
+  Tensor grad = loss_.backward();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+  grad_out = gradients();
+  return loss;
+}
+
+double Model::train_step(const Tensor& x, std::span<const int> y, float lr) {
+  zero_grad();
+  Tensor logits = forward(x);
+  const double loss = loss_.forward(logits, y);
+  Tensor grad = loss_.backward();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+  for (auto& l : layers_)
+    for (auto& p : l->params())
+      for (std::size_t i = 0; i < p.value.size(); ++i) p.value[i] -= lr * p.grad[i];
+  return loss;
+}
+
+EvalResult Model::evaluate(const Tensor& xs, std::span<const int> ys, std::size_t batch_size) {
+  const std::size_t n = xs.dim(0);
+  if (ys.size() != n) throw std::invalid_argument("Model::evaluate: label count mismatch");
+  if (n == 0) return {};
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    idx.resize(end - start);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
+    Tensor xb = gather_rows(xs, idx);
+    Tensor logits = forward(xb);
+    std::span<const int> yb(ys.data() + start, end - start);
+    loss_sum += loss_.forward(logits, yb) * static_cast<double>(end - start);
+    acc_sum += accuracy(logits, yb) * static_cast<double>(end - start);
+  }
+  return {loss_sum / static_cast<double>(n), acc_sum / static_cast<double>(n)};
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0xA1FED6A0;
+}  // namespace
+
+void save_parameters(const std::string& path, std::span<const float> params) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_parameters: cannot open " + path);
+  const std::uint32_t magic = kCheckpointMagic;
+  const auto count = static_cast<std::uint64_t>(params.size());
+  f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  f.write(reinterpret_cast<const char*>(params.data()),
+          static_cast<std::streamsize>(params.size_bytes()));
+  if (!f) throw std::runtime_error("save_parameters: write failed for " + path);
+}
+
+std::vector<float> load_parameters(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_parameters: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f || magic != kCheckpointMagic)
+    throw std::runtime_error("load_parameters: not an airfedga checkpoint: " + path);
+  std::vector<float> params(count);
+  f.read(reinterpret_cast<char*>(params.data()),
+         static_cast<std::streamsize>(count * sizeof(float)));
+  if (!f || f.gcount() != static_cast<std::streamsize>(count * sizeof(float)))
+    throw std::runtime_error("load_parameters: truncated checkpoint: " + path);
+  return params;
+}
+
+Tensor gather_rows(const Tensor& xs, std::span<const std::size_t> indices) {
+  const std::size_t row = xs.size() / xs.dim(0);
+  std::vector<std::size_t> shape = xs.shape();
+  shape[0] = indices.size();
+  Tensor out(shape);
+  const float* src = xs.data().data();
+  float* dst = out.data().data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= xs.dim(0)) throw std::out_of_range("gather_rows: index out of range");
+    std::copy(src + indices[i] * row, src + (indices[i] + 1) * row, dst + i * row);
+  }
+  return out;
+}
+
+}  // namespace airfedga::ml

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/layer.hpp"
+#include "ml/loss.hpp"
+#include "ml/tensor.hpp"
+
+namespace airfedga::ml {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Sequential model with a softmax cross-entropy head.
+///
+/// The federated mechanisms treat a model as an opaque flat parameter
+/// vector (that is exactly what is transmitted over the air, Eq. 9), so the
+/// central API here is `parameters()` / `set_parameters()` round-tripping,
+/// plus gradient evaluation at the currently-loaded parameters.
+class Model {
+ public:
+  Model() = default;
+
+  // Move-only: layers own per-instance caches.
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Re-draws all layer weights from `rng`.
+  void init(util::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+
+  [[nodiscard]] std::size_t num_parameters() const;
+
+  /// Flattened copy of all parameter blocks, in layer order.
+  [[nodiscard]] std::vector<float> parameters() const;
+  void set_parameters(std::span<const float> flat);
+
+  /// Flattened copy of the accumulated gradients.
+  [[nodiscard]] std::vector<float> gradients() const;
+  void zero_grad();
+
+  /// Computes mean loss on (x, y), leaves gradients accumulated in the
+  /// layers, and writes the flattened gradient to `grad_out`.
+  double compute_gradient(const Tensor& x, std::span<const int> y, std::vector<float>& grad_out);
+
+  /// One plain SGD step (Eq. 4): w <- w - lr * grad(batch). Returns loss.
+  double train_step(const Tensor& x, std::span<const int> y, float lr);
+
+  /// Mean loss/accuracy over the full (xs, ys), processed in mini-batches.
+  EvalResult evaluate(const Tensor& xs, std::span<const int> ys, std::size_t batch_size = 256);
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  SoftmaxCrossEntropy loss_;
+};
+
+/// Builds fresh model instances; every FL mechanism owns one factory so all
+/// workers share one architecture while exchanging flat weight vectors.
+using ModelFactory = std::function<Model()>;
+
+/// Extracts rows `indices` of `xs` along dimension 0 (works for 2-D and 4-D).
+Tensor gather_rows(const Tensor& xs, std::span<const std::size_t> indices);
+
+/// Checkpointing: writes/reads a flat parameter vector in a small binary
+/// format (magic + length + raw floats). `load_parameters` validates the
+/// header and length so a truncated or foreign file fails loudly instead
+/// of silently corrupting a model.
+void save_parameters(const std::string& path, std::span<const float> params);
+std::vector<float> load_parameters(const std::string& path);
+
+}  // namespace airfedga::ml

@@ -1,0 +1,24 @@
+#include "ml/optimizer.hpp"
+
+namespace airfedga::ml {
+
+void SgdOptimizer::step(Model& model) {
+  std::size_t block = 0;
+  for (std::size_t li = 0; li < model.num_layers(); ++li) {
+    for (auto& p : model.layer(li).params()) {
+      if (velocity_.size() <= block) velocity_.emplace_back(p.value.size(), 0.0f);
+      auto& vel = velocity_[block];
+      for (std::size_t i = 0; i < p.value.size(); ++i) {
+        float g = p.grad[i] + cfg_.weight_decay * p.value[i];
+        if (cfg_.momentum > 0.0f) {
+          vel[i] = cfg_.momentum * vel[i] + g;
+          g = vel[i];
+        }
+        p.value[i] -= cfg_.lr * g;
+      }
+      ++block;
+    }
+  }
+}
+
+}  // namespace airfedga::ml

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace airfedga::ml {
+
+/// Plain SGD with optional momentum and L2 weight decay.
+///
+/// The paper's local update (Eq. 4) is momentum-free SGD; momentum and
+/// weight decay are provided for the extension experiments and for making
+/// the toy convex problems strongly convex in tests.
+class SgdOptimizer {
+ public:
+  struct Config {
+    float lr = 0.01f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+
+  explicit SgdOptimizer(Config cfg) : cfg_(cfg) {}
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// model's layers.
+  void step(Model& model);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  void set_lr(float lr) { cfg_.lr = lr; }
+
+ private:
+  Config cfg_;
+  std::vector<std::vector<float>> velocity_;  // lazily sized per param block
+};
+
+}  // namespace airfedga::ml

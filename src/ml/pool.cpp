@@ -1,0 +1,59 @@
+#include "ml/pool.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace airfedga::ml {
+
+MaxPool2D::MaxPool2D(std::size_t window) : win_(window) {
+  if (window == 0) throw std::invalid_argument("MaxPool2D: window must be >= 1");
+}
+
+Tensor MaxPool2D::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("MaxPool2D::forward: expected NCHW input");
+  const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (h % win_ != 0 || w % win_ != 0)
+    throw std::invalid_argument("MaxPool2D::forward: spatial dims not divisible by window");
+  const std::size_t oh = h / win_, ow = w / win_;
+  input_shape_ = x.shape();
+  Tensor y({batch, ch, oh, ow});
+  argmax_.assign(y.size(), 0);
+  const float* px = x.data().data();
+  float* py = y.data().data();
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const std::size_t base = (n * ch + c) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t di = 0; di < win_; ++di) {
+            for (std::size_t dj = 0; dj < win_; ++dj) {
+              const std::size_t idx = base + (oi * win_ + di) * w + (oj * win_ + dj);
+              if (px[idx] > best) {
+                best = px[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          py[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  if (grad_out.size() != argmax_.size())
+    throw std::invalid_argument("MaxPool2D::backward: shape mismatch with cached forward");
+  Tensor dx(input_shape_);
+  float* pd = dx.data().data();
+  const float* pg = grad_out.data().data();
+  for (std::size_t i = 0; i < grad_out.size(); ++i) pd[argmax_[i]] += pg[i];
+  return dx;
+}
+
+}  // namespace airfedga::ml

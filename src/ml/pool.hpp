@@ -1,0 +1,23 @@
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace airfedga::ml {
+
+/// Max pooling over NCHW activations with square window and equal stride
+/// (the paper's CNN/VGG models only use 2x2/2).
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(std::size_t window = 2);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  std::size_t win_;
+  std::vector<std::size_t> argmax_;       // flat input index of each output cell
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace airfedga::ml

@@ -1,0 +1,182 @@
+#include "ml/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace airfedga::ml {
+
+namespace {
+std::size_t shape_product(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_product(shape_), 0.0f) {
+  if (shape_.empty() || shape_.size() > 4)
+    throw std::invalid_argument("Tensor: rank must be 1..4");
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_.empty() || shape_.size() > 4)
+    throw std::invalid_argument("Tensor: rank must be 1..4");
+  if (data_.size() != shape_product(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_product(new_shape) != size())
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+double Tensor::norm() const { return std::sqrt(squared_norm(data_)); }
+
+std::string Tensor::shape_string() const {
+  std::ostringstream ss;
+  ss << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) ss << shape_[i] << (i + 1 < shape_.size() ? "," : "");
+  ss << ')';
+  return ss.str();
+}
+
+namespace {
+void check_matrix(const Tensor& t, const char* who) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(who) + ": expected rank-2 tensor");
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul");
+  check_matrix(b, "matmul");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dimensions differ");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // (i,k,j) loop order: B rows are read contiguously, so the inner j-loop
+  // auto-vectorizes. Parallel across output rows.
+  util::parallel_for(
+      m,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* crow = pc + i * n;
+          const float* arow = pa + i * k;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float* brow = pb + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      /*grain=*/std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul_nt");
+  check_matrix(b, "matmul_nt");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dimensions differ");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  util::parallel_for(
+      m,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* arow = pa + i * k;
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+          }
+        }
+      },
+      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul_tn");
+  check_matrix(b, "matmul_tn");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m) throw std::invalid_argument("matmul_tn: outer dimensions differ");
+  Tensor c({k, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // C[kk][j] = sum_i A[i][kk] * B[i][j]; parallelize over kk-chunks so each
+  // worker owns disjoint output rows (no atomics needed).
+  util::parallel_for(
+      k,
+      [&](std::size_t k0, std::size_t k1) {
+        for (std::size_t i = 0; i < m; ++i) {
+          const float* arow = pa + i * k;
+          const float* brow = pb + i * n;
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float av = arow[kk];
+            float* crow = pc + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, m * n)));
+  return c;
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  if (y.size() != x.size()) throw std::invalid_argument("add_inplace: size mismatch");
+  float* py = y.data().data();
+  const float* px = x.data().data();
+  for (std::size_t i = 0; i < y.size(); ++i) py[i] += px[i];
+}
+
+void axpy(float a, std::span<const float> x, std::span<float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+}  // namespace airfedga::ml

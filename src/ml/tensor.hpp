@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace airfedga::ml {
+
+/// Dense row-major float tensor with up to 4 dimensions.
+///
+/// The ML substrate is deliberately minimal: the federated-learning
+/// mechanisms operate on *flattened parameter vectors*, so the tensor type
+/// only needs the shapes that appear in the paper's models (2-D activations
+/// for dense layers, 4-D NCHW activations for the CNN/VGG models).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+  /// N(0, stddev) entries drawn from `rng`.
+  static Tensor randn(std::vector<std::size_t> shape, util::Rng& rng, float stddev = 1.0f);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessor (row, col); bounds unchecked in release builds.
+  float& at2(std::size_t r, std::size_t c) { return data_[r * shape_[1] + c]; }
+  [[nodiscard]] float at2(std::size_t r, std::size_t c) const { return data_[r * shape_[1] + c]; }
+
+  /// 4-D accessor (n, c, h, w) for NCHW activations.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Returns a tensor sharing no storage with this one but holding the same
+  /// data under a new shape (sizes must match).
+  [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float v);
+
+  /// Frobenius norm of the entries.
+  [[nodiscard]] double norm() const;
+
+  [[nodiscard]] std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// C(M,N) = A(M,K) * B(K,N). Parallelized over rows of A.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C(M,N) = A(M,K) * B(N,K)^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C(K,N) = A(M,K)^T * B(M,N).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// y += x (elementwise; sizes must match).
+void add_inplace(Tensor& y, const Tensor& x);
+
+/// y = a*x + y (BLAS-style axpy over the flattened entries).
+void axpy(float a, std::span<const float> x, std::span<float> y);
+
+/// Euclidean inner product over flattened entries.
+double dot(std::span<const float> x, std::span<const float> y);
+
+/// Squared L2 norm of a flat vector (accumulated in double).
+double squared_norm(std::span<const float> x);
+
+}  // namespace airfedga::ml

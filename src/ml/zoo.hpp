@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+
+#include "ml/model.hpp"
+
+namespace airfedga::ml {
+
+/// Factories for the paper's model architectures (§VI-A1) plus scaled-down
+/// variants used by the benchmark harness so the full experiment grid runs
+/// on a CPU-only box. `width_scale`/`hidden` parameters are documented per
+/// factory; the defaults reproduce the paper's configurations.
+
+/// Paper "LR": fully connected net with two hidden layers of `hidden` units
+/// (512 in the paper) on flattened inputs.
+Model make_mlp(std::size_t input_dim, std::size_t num_classes, std::size_t hidden = 512);
+
+/// Softmax regression (single dense layer). Convex loss; used by the
+/// convergence-bound tests and the quickstart example.
+Model make_softmax_regression(std::size_t input_dim, std::size_t num_classes);
+
+/// Paper CNN for MNIST: conv5x5(20) - pool - conv5x5(50) - pool - fc(500) -
+/// softmax, on 1x28x28 inputs. `width_scale` in (0,1] shrinks channel/unit
+/// counts proportionally (minimum 4 channels / 32 units).
+Model make_cnn_mnist(double width_scale = 1.0, std::size_t image = 28);
+
+/// Paper CNN for CIFAR-10: conv5x5(32) - pool - conv5x5(64) - pool -
+/// fc(512) - softmax, on 3x32x32 inputs.
+Model make_cnn_cifar(double width_scale = 1.0, std::size_t image = 32);
+
+/// VGG-style net for ImageNet-100: three conv3x3 blocks (each two convs +
+/// pool) followed by two dense layers. The paper uses the full VGG-16 on
+/// 224x224; this keeps the architecture family (stacked 3x3 blocks, deep,
+/// dense head) at CPU-tractable size. Defaults: 3x32x32 inputs, 100 classes.
+Model make_vgg_style(std::size_t image = 32, std::size_t num_classes = 100,
+                     double width_scale = 1.0);
+
+/// Number of parameters for a factory without building workers' replicas.
+std::size_t count_parameters(const ModelFactory& factory);
+
+}  // namespace airfedga::ml

@@ -1,0 +1,33 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace airfedga::sim {
+
+ClusterModel::ClusterModel(std::size_t num_workers, Config cfg) : cfg_(cfg) {
+  if (num_workers == 0) throw std::invalid_argument("ClusterModel: zero workers");
+  if (cfg.base_seconds <= 0.0) throw std::invalid_argument("ClusterModel: base time must be > 0");
+  if (cfg.kappa_min <= 0.0 || cfg.kappa_max < cfg.kappa_min)
+    throw std::invalid_argument("ClusterModel: bad kappa range");
+  util::Rng rng(cfg.seed);
+  kappa_.resize(num_workers);
+  for (auto& k : kappa_) k = rng.uniform(cfg.kappa_min, cfg.kappa_max);
+}
+
+double ClusterModel::local_time(std::size_t worker) const {
+  return kappa_.at(worker) * cfg_.base_seconds;
+}
+
+std::vector<double> ClusterModel::local_times() const {
+  std::vector<double> l(kappa_.size());
+  for (std::size_t i = 0; i < l.size(); ++i) l[i] = local_time(i);
+  return l;
+}
+
+double ClusterModel::spread() const {
+  const auto [mn, mx] = std::minmax_element(kappa_.begin(), kappa_.end());
+  return (*mx - *mn) * cfg_.base_seconds;
+}
+
+}  // namespace airfedga::sim

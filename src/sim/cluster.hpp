@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace airfedga::sim {
+
+/// Edge-heterogeneity model (paper §VI-A2): every worker has local training
+/// time l_i = kappa_i * base_seconds, with kappa_i drawn uniformly from
+/// [kappa_min, kappa_max] (the paper uses [1, 10]).
+class ClusterModel {
+ public:
+  struct Config {
+    double base_seconds = 6.0;  ///< \hat{l}: homogeneous per-round compute time
+    double kappa_min = 1.0;
+    double kappa_max = 10.0;
+    std::uint64_t seed = 17;
+  };
+
+  ClusterModel(std::size_t num_workers, Config cfg);
+
+  [[nodiscard]] std::size_t num_workers() const { return kappa_.size(); }
+
+  /// kappa_i, the heterogeneity factor of worker i.
+  [[nodiscard]] double kappa(std::size_t worker) const { return kappa_.at(worker); }
+
+  /// l_i = kappa_i * base (seconds of local training per round).
+  [[nodiscard]] double local_time(std::size_t worker) const;
+
+  /// All l_i in worker order.
+  [[nodiscard]] std::vector<double> local_times() const;
+
+  /// Delta_l = max_i l_i - min_i l_i (used in constraint 36d).
+  [[nodiscard]] double spread() const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::vector<double> kappa_;
+};
+
+}  // namespace airfedga::sim

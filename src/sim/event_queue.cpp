@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+
+namespace airfedga::sim {
+
+std::uint64_t EventQueue::schedule(double time, int kind, std::size_t actor) {
+  if (!std::isfinite(time)) throw std::invalid_argument("EventQueue: non-finite time");
+  if (time < now_) throw std::invalid_argument("EventQueue: scheduling into the past");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{time, seq, kind, actor});
+  return seq;
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  return e;
+}
+
+double EventQueue::peek_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::peek_time: empty queue");
+  return heap_.top().time;
+}
+
+}  // namespace airfedga::sim

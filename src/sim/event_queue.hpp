@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace airfedga::sim {
+
+/// One scheduled occurrence in virtual time. `kind`/`actor` are interpreted
+/// by the mechanism that scheduled the event (e.g. actor = worker id for a
+/// READY event in Alg. 1).
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< insertion order; breaks time ties deterministically
+  int kind = 0;
+  std::size_t actor = 0;
+};
+
+/// Min-heap of events ordered by (time, seq).
+///
+/// The simulator advances a virtual clock: popping returns the earliest
+/// event and moves the clock forward; scheduling in the past is rejected so
+/// causality bugs in mechanisms surface immediately instead of silently
+/// reordering history.
+class EventQueue {
+ public:
+  /// Schedules an event; returns its sequence number.
+  std::uint64_t schedule(double time, int kind, std::size_t actor);
+
+  /// Pops the earliest event and advances the clock to its time.
+  Event pop();
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Current virtual time (time of the last popped event; 0 initially).
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Time of the earliest pending event.
+  [[nodiscard]] double peek_time() const;
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace airfedga::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace airfedga::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& ss, T&& v, Rest&&... rest) {
+  ss << std::forward<T>(v);
+  append_all(ss, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream ss;
+  detail::append_all(ss, std::forward<Args>(args)...);
+  log_line(LogLevel::kDebug, ss.str());
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream ss;
+  detail::append_all(ss, std::forward<Args>(args)...);
+  log_line(LogLevel::kInfo, ss.str());
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream ss;
+  detail::append_all(ss, std::forward<Args>(args)...);
+  log_line(LogLevel::kWarn, ss.str());
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() > LogLevel::kError) return;
+  std::ostringstream ss;
+  detail::append_all(ss, std::forward<Args>(args)...);
+  log_line(LogLevel::kError, ss.str());
+}
+
+}  // namespace airfedga::util

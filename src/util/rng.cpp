@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace airfedga::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(tag + 0x517cc1b727220a95ull)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::rayleigh(double scale) {
+  // Inverse-CDF sampling: F(x) = 1 - exp(-x^2 / (2 scale^2)).
+  const double u = uniform(std::numeric_limits<double>::min(), 1.0);
+  return scale * std::sqrt(-2.0 * std::log(u));
+}
+
+std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::coin(double p_true) { return uniform() < p_true; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  auto p = permutation(n);
+  p.resize(k);
+  return p;
+}
+
+}  // namespace airfedga::util

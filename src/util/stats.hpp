@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace airfedga::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void push(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1 denominator)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation quantile of an unsorted sample (q in [0,1]).
+double quantile(std::span<const double> xs, double q);
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Five-number summary used for box plots (Fig. 7 of the paper).
+struct BoxplotSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+BoxplotSummary boxplot(std::span<const double> xs);
+
+/// Simple moving average smoothing with a centered-left window; used when
+/// deciding "time to stable accuracy" on a noisy accuracy-vs-time series.
+std::vector<double> moving_average(std::span<const double> xs, std::size_t window);
+
+}  // namespace airfedga::util

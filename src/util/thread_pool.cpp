@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace airfedga::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t grain) {
+  const std::size_t workers = threads_.size();
+  if (workers == 0 || n <= grain) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  const std::size_t parts = std::min(workers + 1, (n + grain - 1) / grain);
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  // Shared completion latch: workers hold a reference so the mutex/cv stay
+  // alive even if the caller is already past its wait when the last worker
+  // signals (stack-allocated state here is a use-after-return race).
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = parts;
+
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    submit([latch, &fn, begin, end] {
+      fn(begin, end);
+      std::scoped_lock lock(latch->mutex);
+      if (--latch->remaining == 0) latch->cv.notify_one();
+    });
+  }
+  // The calling thread takes the first chunk instead of sleeping.
+  fn(0, std::min(n, chunk));
+  {
+    std::unique_lock lock(latch->mutex);
+    --latch->remaining;
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain) {
+  global_pool().parallel_for(n, fn, grain);
+}
+
+}  // namespace airfedga::util

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace airfedga::util {
+
+/// A small fixed-size worker pool for data-parallel loops (OpenMP-style
+/// `parallel for` without the OpenMP dependency). Used by the ML library's
+/// GEMM and by batched evaluation.
+///
+/// The pool is shared process-wide via `global_pool()`; the ML kernels
+/// split their loops into one chunk per thread, which is the right shape
+/// for the flat loops used here (contiguous float arithmetic).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
+  /// worker (plus the calling thread). Blocks until all chunks complete.
+  /// Falls back to a serial call when n is small or the pool has 0 workers.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1024);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to the hardware concurrency (minus one for the
+/// calling thread). Thread-safe to call from anywhere after static init.
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+}  // namespace airfedga::util

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/aircomp.hpp"
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::channel {
+namespace {
+
+std::vector<float> randvec(std::size_t n, std::uint64_t seed, float scale = 1.0f) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, scale));
+  return v;
+}
+
+TEST(TransmitEnergy, MatchesEq7) {
+  std::vector<float> w = {3.0f, 4.0f};  // ||w||^2 = 25
+  // p = d*sigma/h = 10*0.2/0.5 = 4; E = 16 * 25 = 400.
+  EXPECT_DOUBLE_EQ(transmit_energy(10.0, 0.2, 0.5, w), 400.0);
+  EXPECT_THROW(transmit_energy(1.0, 1.0, 0.0, w), std::invalid_argument);
+}
+
+TEST(IdealAggregate, MatchesEq8HandComputed) {
+  std::vector<float> w_prev = {1.0f, 1.0f};
+  std::vector<float> w1 = {2.0f, 0.0f};
+  std::vector<float> w2 = {0.0f, 4.0f};
+  // d1 = 1, d2 = 3, D = 8 -> alpha1 = 1/8, alpha2 = 3/8, keep = 1/2.
+  auto out = AirCompChannel::ideal_aggregate(w_prev, {w1, w2}, {1.0, 3.0}, 8.0);
+  EXPECT_FLOAT_EQ(out[0], 0.5f * 1.0f + 0.125f * 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.5f * 1.0f + 0.375f * 4.0f);
+}
+
+TEST(IdealAggregate, FullParticipationIsWeightedAverage) {
+  std::vector<float> w_prev = {100.0f};
+  std::vector<float> w1 = {2.0f};
+  std::vector<float> w2 = {6.0f};
+  auto out = AirCompChannel::ideal_aggregate(w_prev, {w1, w2}, {1.0, 1.0}, 2.0);
+  // beta = 1: the stale w_prev contributes nothing.
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(AirComp, NoiselessUnbiasedSigmaEtaRecoversIdeal) {
+  // With sigma/sqrt(eta) = 1 and sigma0 = 0, Eq. 10 equals Eq. 8 exactly.
+  AirCompChannel ch({.sigma0_sq = 0.0, .seed = 1});
+  const std::size_t q = 64;
+  auto w_prev = randvec(q, 1);
+  auto w1 = randvec(q, 2);
+  auto w2 = randvec(q, 3);
+
+  AirCompChannel::Input in;
+  in.w_prev = w_prev;
+  in.local_models = {w1, w2};
+  in.data_sizes = {10.0, 30.0};
+  in.gains = {1.0, 0.7};
+  in.sigma = 0.25;
+  in.eta = 0.0625;  // sqrt(eta) = 0.25 = sigma
+  in.total_data = 100.0;
+  const auto out = ch.aggregate(in);
+
+  const auto ideal = AirCompChannel::ideal_aggregate(w_prev, {w1, w2}, in.data_sizes, 100.0);
+  ASSERT_EQ(out.w_next.size(), ideal.size());
+  for (std::size_t i = 0; i < q; ++i) EXPECT_NEAR(out.w_next[i], ideal[i], 1e-5);
+  EXPECT_DOUBLE_EQ(out.noise_energy, 0.0);
+  EXPECT_NEAR(out.beta, 0.4, 1e-12);
+}
+
+TEST(AirComp, EnergiesFollowEq7) {
+  AirCompChannel ch({.sigma0_sq = 0.0, .seed = 2});
+  std::vector<float> w_prev = {0.0f, 0.0f};
+  std::vector<float> w1 = {3.0f, 4.0f};
+  AirCompChannel::Input in;
+  in.w_prev = w_prev;
+  in.local_models = {w1};
+  in.data_sizes = {10.0};
+  in.gains = {0.5};
+  in.sigma = 0.2;
+  in.eta = 0.04;
+  in.total_data = 10.0;
+  const auto out = ch.aggregate(in);
+  ASSERT_EQ(out.energies.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.energies[0], 400.0);
+}
+
+TEST(AirComp, NoiseEnergyConcentratesAroundSigma0Sq) {
+  // E||z||^2 = sigma0^2 regardless of dimension (per-component variance is
+  // sigma0^2/q). Check the mean over repetitions.
+  AirCompChannel ch({.sigma0_sq = 4.0, .seed = 3});
+  const std::size_t q = 512;
+  auto w_prev = randvec(q, 4);
+  auto w1 = randvec(q, 5);
+  AirCompChannel::Input in;
+  in.w_prev = w_prev;
+  in.local_models = {w1};
+  in.data_sizes = {1.0};
+  in.gains = {1.0};
+  in.sigma = 1.0;
+  in.eta = 1.0;
+  in.total_data = 1.0;
+
+  double acc = 0.0;
+  const int reps = 64;
+  for (int r = 0; r < reps; ++r) acc += ch.aggregate(in).noise_energy;
+  EXPECT_NEAR(acc / reps, 4.0, 0.4);
+}
+
+TEST(AirComp, BiasedSigmaShrinksAggregate) {
+  // sigma/sqrt(eta) = 0.5 halves the group contribution relative to ideal.
+  AirCompChannel ch({.sigma0_sq = 0.0, .seed = 6});
+  std::vector<float> w_prev = {0.0f};
+  std::vector<float> w1 = {8.0f};
+  AirCompChannel::Input in;
+  in.w_prev = w_prev;
+  in.local_models = {w1};
+  in.data_sizes = {1.0};
+  in.gains = {1.0};
+  in.sigma = 0.5;
+  in.eta = 1.0;
+  in.total_data = 1.0;
+  const auto out = ch.aggregate(in);
+  EXPECT_FLOAT_EQ(out.w_next[0], 4.0f);
+}
+
+TEST(AirComp, HigherEtaSuppressesNoise) {
+  const std::size_t q = 256;
+  auto w_prev = randvec(q, 7);
+  std::vector<float> w1(q, 0.0f);
+
+  auto mse_for_eta = [&](double eta, std::uint64_t seed) {
+    AirCompChannel ch({.sigma0_sq = 1.0, .seed = seed});
+    AirCompChannel::Input in;
+    in.w_prev = w_prev;
+    in.local_models = {w1};
+    in.data_sizes = {1.0};
+    in.gains = {1.0};
+    in.sigma = std::sqrt(eta);  // keep the aggregation unbiased
+    in.eta = eta;
+    in.total_data = 1.0;
+    double acc = 0.0;
+    for (int r = 0; r < 32; ++r) {
+      const auto out = ch.aggregate(in);
+      // Ideal result is all-zero (w1 = 0, beta = 1).
+      for (std::size_t i = 0; i < q; ++i)
+        acc += static_cast<double>(out.w_next[i]) * out.w_next[i];
+    }
+    return acc;
+  };
+  EXPECT_LT(mse_for_eta(10.0, 8), mse_for_eta(0.1, 9) / 10.0);
+}
+
+TEST(AirComp, InputValidation) {
+  AirCompChannel ch({});
+  std::vector<float> w = {1.0f};
+  AirCompChannel::Input in;
+  in.w_prev = w;
+  in.local_models = {};
+  in.data_sizes = {};
+  in.gains = {};
+  in.sigma = 1.0;
+  in.eta = 1.0;
+  in.total_data = 1.0;
+  EXPECT_THROW(ch.aggregate(in), std::invalid_argument);  // empty group
+
+  in.local_models = {w};
+  in.data_sizes = {1.0};
+  in.gains = {1.0, 2.0};  // mismatched
+  EXPECT_THROW(ch.aggregate(in), std::invalid_argument);
+
+  in.gains = {1.0};
+  in.sigma = 0.0;
+  EXPECT_THROW(ch.aggregate(in), std::invalid_argument);
+
+  in.sigma = 1.0;
+  std::vector<float> w2 = {1.0f, 2.0f};
+  in.local_models = {w2};  // dimension mismatch vs w_prev
+  EXPECT_THROW(ch.aggregate(in), std::invalid_argument);
+}
+
+TEST(AirComp, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    AirCompChannel ch({.sigma0_sq = 1.0, .seed = seed});
+    auto w_prev = randvec(32, 10);
+    auto w1 = randvec(32, 11);
+    AirCompChannel::Input in;
+    in.w_prev = w_prev;
+    in.local_models = {w1};
+    in.data_sizes = {2.0};
+    in.gains = {1.0};
+    in.sigma = 0.5;
+    in.eta = 0.25;
+    in.total_data = 2.0;
+    return ch.aggregate(in).w_next;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace airfedga::channel

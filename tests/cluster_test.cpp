@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/cluster.hpp"
+
+namespace airfedga::sim {
+namespace {
+
+TEST(Cluster, KappaWithinConfiguredRange) {
+  ClusterModel::Config cfg;
+  cfg.kappa_min = 1.0;
+  cfg.kappa_max = 10.0;
+  ClusterModel cm(100, cfg);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(cm.kappa(i), 1.0);
+    EXPECT_LT(cm.kappa(i), 10.0);
+  }
+}
+
+TEST(Cluster, LocalTimeScalesBase) {
+  ClusterModel::Config cfg;
+  cfg.base_seconds = 6.0;
+  ClusterModel cm(10, cfg);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(cm.local_time(i), cm.kappa(i) * 6.0);
+}
+
+TEST(Cluster, LocalTimesVectorMatches) {
+  ClusterModel cm(20, {});
+  const auto l = cm.local_times();
+  ASSERT_EQ(l.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(l[i], cm.local_time(i));
+}
+
+TEST(Cluster, SpreadIsMaxMinusMin) {
+  ClusterModel cm(50, {});
+  const auto l = cm.local_times();
+  const auto [mn, mx] = std::minmax_element(l.begin(), l.end());
+  EXPECT_NEAR(cm.spread(), *mx - *mn, 1e-12);
+}
+
+TEST(Cluster, DeterministicPerSeed) {
+  ClusterModel::Config cfg;
+  cfg.seed = 5;
+  ClusterModel a(10, cfg), b(10, cfg);
+  EXPECT_EQ(a.local_times(), b.local_times());
+  cfg.seed = 6;
+  ClusterModel c(10, cfg);
+  EXPECT_NE(a.local_times(), c.local_times());
+}
+
+TEST(Cluster, HeterogeneityActuallySpreads) {
+  // With kappa ~ U[1,10) and 100 workers the spread should cover most of
+  // the range, as in the paper's Fig. 7 (8.1s to 61.6s with base ~6s).
+  ClusterModel::Config cfg;
+  cfg.base_seconds = 6.0;
+  ClusterModel cm(100, cfg);
+  EXPECT_GT(cm.spread(), 6.0 * 7.0);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(ClusterModel(0, {}), std::invalid_argument);
+  ClusterModel::Config bad;
+  bad.base_seconds = 0.0;
+  EXPECT_THROW(ClusterModel(1, bad), std::invalid_argument);
+  bad = {};
+  bad.kappa_min = 0.0;
+  EXPECT_THROW(ClusterModel(1, bad), std::invalid_argument);
+  bad = {};
+  bad.kappa_max = 0.5;  // < kappa_min
+  EXPECT_THROW(ClusterModel(1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::sim

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/convergence.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::core {
+namespace {
+
+TEST(ConvergenceConfig, DefaultValidates) { EXPECT_NO_THROW(ConvergenceConfig{}.validate()); }
+
+TEST(ConvergenceConfig, RejectsGammaOutsideWindow) {
+  ConvergenceConfig cfg;
+  cfg.gamma = 0.4;  // <= 1/(2L) = 0.5
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.gamma = 1.0;  // >= 1/L
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.gamma = 0.75;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConvergenceConfig, RejectsMuAboveL) {
+  ConvergenceConfig cfg;
+  cfg.mu = 2.0;
+  cfg.smooth_l = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(AggregationError, UnbiasedNoiselessIsZero) {
+  EXPECT_DOUBLE_EQ(aggregation_error(0.5, 0.25, 100.0, 0.0, 10.0), 0.0);
+}
+
+TEST(AggregationError, HandComputed) {
+  // sigma/sqrt(eta) = 2 -> bias term = 1 * W^2; noise = 4 / (25 * 1).
+  EXPECT_DOUBLE_EQ(aggregation_error(2.0, 1.0, 7.0, 4.0, 5.0), 7.0 + 4.0 / 25.0);
+}
+
+TEST(ParticipationFrequencies, ProportionalToInverseTime) {
+  std::vector<double> lj = {1.0, 2.0, 4.0};
+  const auto psi = participation_frequencies(lj);
+  // 1/L: 1, 0.5, 0.25 -> normalized by 1.75.
+  EXPECT_NEAR(psi[0], 1.0 / 1.75, 1e-12);
+  EXPECT_NEAR(psi[1], 0.5 / 1.75, 1e-12);
+  EXPECT_NEAR(psi[2], 0.25 / 1.75, 1e-12);
+  EXPECT_NEAR(psi[0] + psi[1] + psi[2], 1.0, 1e-12);
+}
+
+TEST(AverageRoundTime, Eq35HandComputed) {
+  std::vector<double> lj = {2.0, 2.0};
+  // 1 / (1/2 + 1/2) = 1.
+  EXPECT_DOUBLE_EQ(average_round_time(lj), 1.0);
+  std::vector<double> single = {3.0};
+  EXPECT_DOUBLE_EQ(average_round_time(single), 3.0);
+}
+
+TEST(EstimatedMaxStaleness, Eq39HandComputed) {
+  std::vector<double> lj = {1.0, 2.0};
+  // Lmax * sum(1/L) = 2 * 1.5 = 3.
+  EXPECT_DOUBLE_EQ(estimated_max_staleness(lj), 3.0);
+  // Single group: Lmax * 1/Lmax = 1.
+  std::vector<double> single = {7.0};
+  EXPECT_DOUBLE_EQ(estimated_max_staleness(single), 1.0);
+}
+
+TEST(EstimatedMaxStaleness, GrowsWithGroupImbalance) {
+  std::vector<double> balanced = {2.0, 2.0, 2.0};
+  std::vector<double> imbalanced = {1.0, 2.0, 10.0};
+  EXPECT_GT(estimated_max_staleness(imbalanced), estimated_max_staleness(balanced));
+}
+
+TEST(Lemma1, RhoAndDeltaFormulas) {
+  EXPECT_DOUBLE_EQ(lemma1_rho(0.3, 0.4, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(lemma1_rho(0.3, 0.4, 1.0), std::sqrt(0.7));
+  EXPECT_DOUBLE_EQ(lemma1_delta(0.3, 0.4, 0.6), 2.0);
+  EXPECT_THROW(lemma1_rho(0.6, 0.4, 0.0), std::invalid_argument);
+}
+
+/// Property test of Lemma 1: simulate the recursion
+/// Q(t) = x Q(t-1) + y Q(l_t) + z with random admissible (x, y, z) and
+/// random staleness pattern bounded by tau_max, and check the bound
+/// Q(t) <= rho^t Q(0) + delta at every step.
+class Lemma1Property : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1Property, BoundHoldsAlongRandomTrajectories) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x = rng.uniform(0.0, 0.7);
+    const double y = rng.uniform(0.0, 0.99 - x);
+    const double z = rng.uniform(0.0, 1.0);
+    const int tau_max = static_cast<int>(rng.randint(0, 5));
+    const double q0 = rng.uniform(0.5, 10.0);
+
+    const double rho = lemma1_rho(x, y, tau_max);
+    const double delta = lemma1_delta(x, y, z);
+
+    std::vector<double> q = {q0};
+    for (int t = 1; t <= 60; ++t) {
+      // l_t = t - tau_t - 1 with tau_t <= tau_max; worst case maximizes
+      // Q(l_t), i.e. the earliest admissible index.
+      const int tau_t = static_cast<int>(rng.randint(0, std::min<std::int64_t>(tau_max, t - 1)));
+      const int lt = t - tau_t - 1;
+      const double qt = x * q[static_cast<std::size_t>(t - 1)] +
+                        y * q[static_cast<std::size_t>(lt)] + z;
+      q.push_back(qt);
+      EXPECT_LE(qt, std::pow(rho, t) * q0 + delta + 1e-9)
+          << "x=" << x << " y=" << y << " z=" << z << " tau_max=" << tau_max << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property, testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(ContractionBase, MatchesFormula) {
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> groups = {{1.0, 0.5, 0.0}, {1.0, 0.5, 0.0}};
+  // psi = {0.5, 0.5}, sum psi*beta = 0.5.
+  const double coeff = 2.0 * cfg.mu * cfg.gamma - cfg.mu / cfg.smooth_l;
+  EXPECT_NEAR(contraction_base(cfg, groups), 1.0 - coeff * 0.5, 1e-12);
+}
+
+TEST(ConvergenceRho, StalenessSlowsContractionPerRound) {
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> groups = {{1.0, 1.0, 0.0}};
+  const double rho0 = convergence_rho(cfg, groups, 0.0);
+  const double rho3 = convergence_rho(cfg, groups, 3.0);
+  EXPECT_LT(rho0, rho3);  // Corollary 2
+  EXPECT_GT(rho0, 0.0);
+  EXPECT_LT(rho3, 1.0);
+}
+
+TEST(ResidualDelta, GrowsWithEmd) {
+  // Corollary 1: larger Lambda_j -> larger delta.
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> iid = {{1.0, 0.5, 0.0}, {1.0, 0.5, 0.0}};
+  std::vector<GroupPlan> skew = {{1.0, 0.5, 1.8}, {1.0, 0.5, 1.8}};
+  EXPECT_LT(residual_delta(cfg, iid, 0.0), residual_delta(cfg, skew, 0.0));
+  EXPECT_DOUBLE_EQ(residual_delta(cfg, iid, 0.0), 0.0);  // IID + error-free
+}
+
+TEST(ResidualDelta, GrowsWithAggregationError) {
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> groups = {{1.0, 1.0, 0.2}};
+  EXPECT_LT(residual_delta(cfg, groups, 0.0), residual_delta(cfg, groups, 1.0));
+}
+
+TEST(RoundsToConverge, InfeasibleWhenDeltaExceedsEpsilon) {
+  ConvergenceConfig cfg;
+  cfg.epsilon = 1e-6;
+  std::vector<GroupPlan> skew = {{1.0, 1.0, 1.8}};
+  EXPECT_TRUE(std::isinf(rounds_to_converge(cfg, skew, 1.0, 0.0)));
+}
+
+TEST(RoundsToConverge, MoreStalenessNeedsMoreRounds) {
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> groups = {{1.0, 1.0, 0.0}};
+  const double t0 = rounds_to_converge(cfg, groups, 0.0, 0.0);
+  const double t5 = rounds_to_converge(cfg, groups, 5.0, 0.0);
+  EXPECT_GT(t5, t0 * 4.0);
+  EXPECT_TRUE(std::isfinite(t0));
+}
+
+TEST(TrainingTimeObjective, PrefersOneGroupForEqualSpeedWorkers) {
+  // Corollary 2: for workers of identical speed, splitting buys nothing —
+  // round time stays the same per group, but each round only contracts a
+  // beta fraction and staleness inflates T. M=1 must win the objective.
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> one = {{10.0, 1.0, 0.0}};
+  std::vector<GroupPlan> two = {{10.0, 0.5, 0.0}, {10.0, 0.5, 0.0}};
+  const double obj1 = training_time_objective(cfg, one, 0.0);
+  const double obj2 = training_time_objective(cfg, two, 0.0);
+  EXPECT_TRUE(std::isfinite(obj1));
+  EXPECT_TRUE(std::isfinite(obj2));
+  EXPECT_LT(obj1, obj2);
+}
+
+TEST(TrainingTimeObjective, SheddingAStragglerCanPay) {
+  // The flip side (the reason Air-FedGA exists): when one straggler is an
+  // order of magnitude slower and holds little of the data, fencing it off
+  // into its own group beats dragging every round to its pace.
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> together = {{100.0, 1.0, 0.0}};
+  std::vector<GroupPlan> fenced = {{10.0, 0.95, 0.0}, {100.0, 0.05, 0.0}};
+  const double obj_together = training_time_objective(cfg, together, 0.0);
+  const double obj_fenced = training_time_objective(cfg, fenced, 0.0);
+  EXPECT_TRUE(std::isfinite(obj_together));
+  EXPECT_TRUE(std::isfinite(obj_fenced));
+  EXPECT_LT(obj_fenced, obj_together);
+}
+
+TEST(TrainingTimeObjective, InfiniteWhenInfeasible) {
+  ConvergenceConfig cfg;
+  cfg.epsilon = 1e-9;
+  std::vector<GroupPlan> groups = {{1.0, 1.0, 1.8}};
+  EXPECT_TRUE(std::isinf(training_time_objective(cfg, groups, 0.0)));
+}
+
+TEST(Validation, EmptyGroupsRejected) {
+  ConvergenceConfig cfg;
+  std::vector<GroupPlan> none;
+  EXPECT_THROW(contraction_base(cfg, none), std::invalid_argument);
+  EXPECT_THROW(residual_delta(cfg, none, 0.0), std::invalid_argument);
+  EXPECT_THROW(average_round_time(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(participation_frequencies(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(average_round_time(std::vector<double>{0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::core

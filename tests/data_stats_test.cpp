@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/data_stats.hpp"
+
+namespace airfedga::data {
+namespace {
+
+/// Builds a dataset with an explicit label sequence so the statistics can
+/// be hand-checked.
+Dataset explicit_labels(std::vector<int> labels, std::size_t num_classes) {
+  Dataset ds;
+  ds.num_classes = num_classes;
+  ds.ys = std::move(labels);
+  ds.xs = ml::Tensor({ds.ys.size(), 2});
+  return ds;
+}
+
+TEST(DataStats, HandComputedProportions) {
+  // Worker 0: labels {0, 0, 1}; worker 1: labels {1}.
+  Dataset ds = explicit_labels({0, 0, 1, 1}, 2);
+  Partition p = {{0, 1, 2}, {3}};
+  DataStats st(ds, p);
+
+  EXPECT_EQ(st.total_size(), 4u);
+  EXPECT_EQ(st.worker_size(0), 3u);
+  EXPECT_EQ(st.worker_size(1), 1u);
+  EXPECT_DOUBLE_EQ(st.alpha(0), 0.75);
+  EXPECT_DOUBLE_EQ(st.alpha(1), 0.25);
+  EXPECT_DOUBLE_EQ(st.lambda(0), 0.5);
+  EXPECT_DOUBLE_EQ(st.lambda(1), 0.5);
+  EXPECT_EQ(st.worker_class_size(0, 0), 2u);
+  EXPECT_EQ(st.worker_class_size(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(st.alpha_class(0, 0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(st.alpha_class(1, 1), 1.0);
+}
+
+TEST(DataStats, GroupQuantities) {
+  Dataset ds = explicit_labels({0, 0, 1, 1, 1, 0}, 2);
+  Partition p = {{0}, {1}, {2, 3}, {4, 5}};
+  DataStats st(ds, p);
+
+  const std::vector<std::size_t> group = {0, 2};  // workers 0 and 2
+  EXPECT_EQ(st.group_size(group), 3u);
+  EXPECT_DOUBLE_EQ(st.beta(group), 0.5);
+  // Group holds labels {0, 1, 1} -> beta^0 = 1/3, beta^1 = 2/3.
+  EXPECT_DOUBLE_EQ(st.beta_class(group, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(st.beta_class(group, 1), 2.0 / 3.0);
+}
+
+TEST(DataStats, EmdHandComputed) {
+  // Global: 50/50. Group with only label 0: |0.5-1| + |0.5-0| = 1.0.
+  Dataset ds = explicit_labels({0, 0, 1, 1}, 2);
+  Partition p = {{0, 1}, {2, 3}};
+  DataStats st(ds, p);
+  EXPECT_DOUBLE_EQ(st.emd({0}), 1.0);
+  EXPECT_DOUBLE_EQ(st.emd({1}), 1.0);
+  EXPECT_DOUBLE_EQ(st.emd({0, 1}), 0.0);
+}
+
+TEST(DataStats, PaperOriginalEmdIs1Point8) {
+  // §VI-B3: 10 classes, each worker holding a single class has
+  // EMD = |1/10 - 1| + 9 * |1/10 - 0| = 1.8.
+  std::vector<int> labels;
+  for (int k = 0; k < 10; ++k)
+    for (int i = 0; i < 10; ++i) labels.push_back(k);
+  Dataset ds = explicit_labels(std::move(labels), 10);
+  Partition p(10);
+  for (std::size_t w = 0; w < 10; ++w)
+    for (std::size_t i = 0; i < 10; ++i) p[w].push_back(w * 10 + i);
+  DataStats st(ds, p);
+
+  WorkerGroups singletons;
+  for (std::size_t w = 0; w < 10; ++w) singletons.push_back({w});
+  EXPECT_NEAR(st.mean_emd(singletons), 1.8, 1e-12);
+  EXPECT_NEAR(st.worker_emd(0), 1.8, 1e-12);
+}
+
+TEST(DataStats, PerfectlyMixedGroupHasZeroEmd) {
+  std::vector<int> labels;
+  for (int k = 0; k < 10; ++k)
+    for (int i = 0; i < 10; ++i) labels.push_back(k);
+  Dataset ds = explicit_labels(std::move(labels), 10);
+  Partition p(10);
+  for (std::size_t w = 0; w < 10; ++w)
+    for (std::size_t i = 0; i < 10; ++i) p[w].push_back(w * 10 + i);
+  DataStats st(ds, p);
+
+  std::vector<std::size_t> all;
+  for (std::size_t w = 0; w < 10; ++w) all.push_back(w);
+  EXPECT_NEAR(st.emd(all), 0.0, 1e-12);
+}
+
+TEST(DataStats, MeanEmdAverages) {
+  Dataset ds = explicit_labels({0, 0, 1, 1}, 2);
+  Partition p = {{0, 1}, {2, 3}};
+  DataStats st(ds, p);
+  WorkerGroups g = {{0}, {1}};
+  EXPECT_DOUBLE_EQ(st.mean_emd(g), 1.0);
+  WorkerGroups mixed = {{0, 1}};
+  EXPECT_DOUBLE_EQ(st.mean_emd(mixed), 0.0);
+}
+
+TEST(DataStats, EmptyWorkerShardAllowed) {
+  Dataset ds = explicit_labels({0, 1}, 2);
+  Partition p = {{0, 1}, {}};
+  DataStats st(ds, p);
+  EXPECT_EQ(st.worker_size(1), 0u);
+  EXPECT_DOUBLE_EQ(st.alpha(1), 0.0);
+  EXPECT_DOUBLE_EQ(st.alpha_class(1, 0), 0.0);
+}
+
+TEST(DataStats, RejectsEmptyPartition) {
+  Dataset ds = explicit_labels({0, 1}, 2);
+  Partition p = {{}, {}};
+  EXPECT_THROW(DataStats(ds, p), std::invalid_argument);
+}
+
+TEST(ValidateGroups, AcceptsProperGrouping) {
+  WorkerGroups g = {{0, 2}, {1, 3}};
+  EXPECT_NO_THROW(validate_groups(g, 4));
+}
+
+TEST(ValidateGroups, RejectsEmptyGroup) {
+  WorkerGroups g = {{0, 1}, {}};
+  EXPECT_THROW(validate_groups(g, 2), std::invalid_argument);
+}
+
+TEST(ValidateGroups, RejectsDuplicateWorker) {
+  WorkerGroups g = {{0, 1}, {1}};
+  EXPECT_THROW(validate_groups(g, 2), std::invalid_argument);
+}
+
+TEST(ValidateGroups, RejectsMissingWorker) {
+  WorkerGroups g = {{0, 1}};
+  EXPECT_THROW(validate_groups(g, 3), std::invalid_argument);
+}
+
+TEST(ValidateGroups, RejectsOutOfRange) {
+  WorkerGroups g = {{0, 5}};
+  EXPECT_THROW(validate_groups(g, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::data

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/fading.hpp"
+#include "util/stats.hpp"
+
+namespace airfedga::channel {
+namespace {
+
+TEST(Fading, DeterministicPerRound) {
+  FadingChannel ch(10, {});
+  const auto a = ch.gains(5);
+  const auto b = ch.gains(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fading, DiffersAcrossRounds) {
+  FadingChannel ch(10, {});
+  const auto a = ch.gains(1);
+  const auto b = ch.gains(2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++same;
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(Fading, DiffersAcrossSeeds) {
+  FadingChannel::Config c1;
+  c1.seed = 1;
+  FadingChannel::Config c2;
+  c2.seed = 2;
+  FadingChannel a(5, c1), b(5, c2);
+  EXPECT_NE(a.gains(0), b.gains(0));
+}
+
+TEST(Fading, MinGainTruncationHolds) {
+  FadingChannel::Config cfg;
+  cfg.min_gain = 0.5;
+  FadingChannel ch(100, cfg);
+  for (std::size_t round = 0; round < 50; ++round)
+    for (double h : ch.gains(round)) EXPECT_GE(h, 0.5);
+}
+
+TEST(Fading, RayleighMeanApproximatelyOne) {
+  FadingChannel::Config cfg;
+  cfg.min_gain = 0.0;
+  FadingChannel ch(100, cfg);
+  util::RunningStat st;
+  for (std::size_t round = 0; round < 200; ++round)
+    for (double h : ch.gains(round)) st.push(h);
+  // Default scale 0.7979 gives E[h] = 0.7979 * sqrt(pi/2) ~= 1.0.
+  EXPECT_NEAR(st.mean(), 1.0, 0.02);
+}
+
+TEST(Fading, SingleGainMatchesVector) {
+  FadingChannel ch(7, {});
+  const auto v = ch.gains(3);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(ch.gain(i, 3), v[i]);
+}
+
+TEST(Fading, PathLossDisabledByDefault) {
+  FadingChannel ch(5, {});
+  for (double s : ch.large_scale()) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Fading, PathLossScalesAverageGainWithDistance) {
+  FadingChannel::Config cfg;
+  cfg.pathloss_exponent = 3.0;
+  cfg.distance_min = 0.5;
+  cfg.distance_max = 2.0;
+  cfg.min_gain = 0.0;
+  FadingChannel ch(200, cfg);
+
+  // Large-scale factors are within the analytic envelope d^(-alpha/2).
+  const double hi = std::pow(0.5, -1.5);
+  const double lo = std::pow(2.0, -1.5);
+  for (double s : ch.large_scale()) {
+    EXPECT_GE(s, lo - 1e-12);
+    EXPECT_LE(s, hi + 1e-12);
+  }
+
+  // A worker's empirical mean gain over many rounds tracks its factor.
+  util::RunningStat near_stat, far_stat;
+  std::size_t near = 0, far = 0;
+  for (std::size_t i = 1; i < 200; ++i) {
+    if (ch.large_scale()[i] > ch.large_scale()[near]) near = i;
+    if (ch.large_scale()[i] < ch.large_scale()[far]) far = i;
+  }
+  for (std::size_t round = 0; round < 300; ++round) {
+    const auto g = ch.gains(round);
+    near_stat.push(g[near]);
+    far_stat.push(g[far]);
+  }
+  const double expected_ratio = ch.large_scale()[near] / ch.large_scale()[far];
+  EXPECT_NEAR(near_stat.mean() / far_stat.mean(), expected_ratio, 0.15 * expected_ratio);
+}
+
+TEST(Fading, PathLossIsStaticAcrossRounds) {
+  FadingChannel::Config cfg;
+  cfg.pathloss_exponent = 2.0;
+  FadingChannel a(10, cfg), b(10, cfg);
+  EXPECT_EQ(a.large_scale(), b.large_scale());
+}
+
+TEST(Fading, PathLossValidation) {
+  FadingChannel::Config bad;
+  bad.pathloss_exponent = -1.0;
+  EXPECT_THROW(FadingChannel(1, bad), std::invalid_argument);
+  bad = {};
+  bad.pathloss_exponent = 2.0;
+  bad.distance_min = 0.0;
+  EXPECT_THROW(FadingChannel(1, bad), std::invalid_argument);
+  bad.distance_min = 2.0;
+  bad.distance_max = 1.0;
+  EXPECT_THROW(FadingChannel(1, bad), std::invalid_argument);
+}
+
+TEST(Fading, Validation) {
+  EXPECT_THROW(FadingChannel(0, {}), std::invalid_argument);
+  FadingChannel::Config bad;
+  bad.rayleigh_scale = 0.0;
+  EXPECT_THROW(FadingChannel(1, bad), std::invalid_argument);
+  FadingChannel ch(2, {});
+  EXPECT_THROW(static_cast<void>(ch.gain(2, 0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace airfedga::channel

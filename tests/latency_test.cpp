@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "channel/latency.hpp"
+
+namespace airfedga::channel {
+namespace {
+
+TEST(Latency, AircompMatchesEq33) {
+  LatencyConfig cfg;
+  cfg.sub_channels = 1024;
+  cfg.symbol_seconds = 71.4e-6;
+  LatencyModel lm(cfg);
+  // q = 2048 -> 2 OFDM symbols.
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(2048), 2 * 71.4e-6);
+  // Partial symbol rounds up.
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(1025), 2 * 71.4e-6);
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(1), 71.4e-6);
+}
+
+TEST(Latency, AircompIndependentOfGroupSize) {
+  // The defining property of over-the-air aggregation: L_u has no
+  // dependence on how many workers transmit. (The API encodes this by not
+  // taking a worker count at all; this test documents it.)
+  LatencyModel lm{LatencyConfig{}};
+  EXPECT_GT(lm.aircomp_upload_seconds(100000), 0.0);
+}
+
+TEST(Latency, OmaScalesLinearlyInUploaders) {
+  LatencyConfig cfg;
+  cfg.oma_rate_bps = 1e6;
+  cfg.bits_per_param = 32.0;
+  LatencyModel lm(cfg);
+  const double one = lm.oma_upload_seconds(1000, 1);
+  EXPECT_DOUBLE_EQ(one, 1000.0 * 32.0 / 1e6);
+  EXPECT_DOUBLE_EQ(lm.oma_upload_seconds(1000, 10), 10.0 * one);
+  EXPECT_DOUBLE_EQ(lm.oma_upload_seconds(1000, 0), 0.0);
+}
+
+TEST(Latency, AircompBeatsOmaAtScale) {
+  // The motivation of the paper: for a realistic model size and 100
+  // workers, OMA upload is orders of magnitude slower than AirComp.
+  LatencyModel lm{LatencyConfig{}};
+  const std::size_t q = 100000;
+  EXPECT_GT(lm.oma_upload_seconds(q, 100), 100.0 * lm.aircomp_upload_seconds(q));
+}
+
+TEST(Latency, Validation) {
+  LatencyConfig bad;
+  bad.sub_channels = 0;
+  EXPECT_THROW(LatencyModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.symbol_seconds = 0.0;
+  EXPECT_THROW(LatencyModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.oma_rate_bps = -1.0;
+  EXPECT_THROW(LatencyModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.bits_per_param = 0.0;
+  EXPECT_THROW(LatencyModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::channel

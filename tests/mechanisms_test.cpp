@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fl/mechanisms.hpp"
+#include "ml/zoo.hpp"
+
+namespace airfedga::fl {
+namespace {
+
+/// Small but real FL problem: 20 workers, 10-class 16-dim synthetic data,
+/// label-skew partition, softmax-regression model (170 parameters).
+struct Fixture {
+  data::TrainTest data;
+  FLConfig cfg;
+
+  explicit Fixture(std::uint64_t seed = 42, std::size_t workers = 20) {
+    data.train = data::make_synthetic_flat(16, {workers * 50, 10, 1.0, 0.3, seed});
+    data.test = data::make_synthetic_flat(16, {400, 10, 1.0, 0.3, seed});
+    util::Rng rng(seed);
+    cfg.train = &data.train;
+    cfg.test = &data.test;
+    cfg.partition = data::partition_label_skew(data.train, workers, rng);
+    cfg.model_factory = [] { return ml::make_softmax_regression(16, 10); };
+    cfg.learning_rate = 0.3f;
+    cfg.batch_size = 0;  // full local shard, the paper's Eq. 4
+    cfg.cluster.base_seconds = 6.0;
+    cfg.cluster.seed = seed + 1;
+    cfg.fading.seed = seed + 2;
+    cfg.time_budget = 2500.0;
+    cfg.eval_every = 5;
+    cfg.eval_samples = 400;
+    cfg.seed = seed;
+  }
+};
+
+TEST(FLConfigValidation, CatchesMissingPieces) {
+  FLConfig cfg;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  Fixture f;
+  EXPECT_NO_THROW(f.cfg.validate());
+  f.cfg.learning_rate = 0.0f;
+  EXPECT_THROW(f.cfg.validate(), std::invalid_argument);
+}
+
+TEST(AllMechanisms, ProduceMonotoneTimeSeries) {
+  Fixture f;
+  FedAvg fedavg;
+  AirFedAvg airfedavg;
+  DynamicAirComp dynamic;
+  TiFL tifl;
+  AirFedGA airfedga;
+  for (Mechanism* m :
+       std::initializer_list<Mechanism*>{&fedavg, &airfedavg, &dynamic, &tifl, &airfedga}) {
+    const Metrics res = m->run(f.cfg);
+    ASSERT_FALSE(res.empty()) << m->name();
+    EXPECT_GT(res.total_rounds(), 0u) << m->name();
+    double prev = -1.0;
+    for (const auto& p : res.points()) {
+      EXPECT_GE(p.time, prev) << m->name();
+      prev = p.time;
+      EXPECT_GE(p.loss, 0.0);
+      EXPECT_GE(p.accuracy, 0.0);
+      EXPECT_LE(p.accuracy, 1.0);
+    }
+    EXPECT_LE(res.total_time(), f.cfg.time_budget + 1e-9) << m->name();
+  }
+}
+
+TEST(AllMechanisms, DeterministicForSameSeed) {
+  Fixture a(7), b(7);
+  AirFedGA ga1, ga2;
+  const Metrics r1 = ga1.run(a.cfg);
+  const Metrics r2 = ga2.run(b.cfg);
+  ASSERT_EQ(r1.points().size(), r2.points().size());
+  for (std::size_t i = 0; i < r1.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.points()[i].time, r2.points()[i].time);
+    EXPECT_DOUBLE_EQ(r1.points()[i].loss, r2.points()[i].loss);
+    EXPECT_DOUBLE_EQ(r1.points()[i].accuracy, r2.points()[i].accuracy);
+  }
+}
+
+TEST(AllMechanisms, SeedsChangeTrajectories) {
+  Fixture a(7), b(8);
+  AirFedAvg m1, m2;
+  const Metrics r1 = m1.run(a.cfg);
+  const Metrics r2 = m2.run(b.cfg);
+  EXPECT_NE(r1.final_loss(), r2.final_loss());
+}
+
+TEST(FedAvg, LearnsTheProblem) {
+  Fixture f;
+  f.cfg.time_budget = 8000.0;
+  FedAvg m;
+  const Metrics res = m.run(f.cfg);
+  EXPECT_LT(res.final_loss(), res.points().front().loss);
+  EXPECT_GT(res.final_accuracy(), 0.6);
+}
+
+TEST(FedAvg, RoundTimeMatchesOmaModel) {
+  Fixture f;
+  FedAvg m;
+  const Metrics res = m.run(f.cfg);
+  // Round duration = max_i l_i + N * q*32/rate, identical every round.
+  sim::ClusterModel cluster(f.cfg.partition.size(), f.cfg.cluster);
+  const auto lt = cluster.local_times();
+  const double lmax = *std::max_element(lt.begin(), lt.end());
+  const double q = 16 * 10 + 10;
+  const double upload = static_cast<double>(f.cfg.partition.size()) * q * 32.0 / 1e6;
+  EXPECT_NEAR(res.average_round_time(), lmax + upload, 1e-6);
+}
+
+TEST(AirFedAvg, FasterRoundsThanFedAvg) {
+  Fixture f;
+  FedAvg oma;
+  AirFedAvg air;
+  const Metrics r_oma = oma.run(f.cfg);
+  const Metrics r_air = air.run(f.cfg);
+  EXPECT_LT(r_air.average_round_time(), r_oma.average_round_time());
+  // AirComp accumulates transmit energy; OMA harness records none.
+  EXPECT_GT(r_air.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(r_oma.total_energy(), 0.0);
+}
+
+TEST(AirFedAvg, NearlyMatchesFedAvgAccuracyPerRound) {
+  // With optimal power control, over-the-air aggregation error is small:
+  // after the same number of rounds the two synchronous mechanisms should
+  // be close in loss (channel noise costs a little).
+  Fixture f;
+  f.cfg.max_rounds = 25;
+  f.cfg.time_budget = 1e9;
+  f.cfg.eval_every = 25;
+  FedAvg oma;
+  AirFedAvg air;
+  const Metrics r_oma = oma.run(f.cfg);
+  const Metrics r_air = air.run(f.cfg);
+  EXPECT_NEAR(r_air.final_loss(), r_oma.final_loss(), 0.25 * r_oma.final_loss() + 0.05);
+}
+
+TEST(Dynamic, SelectsSubsetsAndJitters) {
+  Fixture f;
+  DynamicAirComp m(0.5);
+  const Metrics res = m.run(f.cfg);
+  ASSERT_GT(res.points().size(), 3u);
+  EXPECT_GT(res.total_energy(), 0.0);
+}
+
+TEST(Dynamic, RejectsBadQuantile) {
+  Fixture f;
+  DynamicAirComp m(1.5);
+  EXPECT_THROW(m.run(f.cfg), std::invalid_argument);
+}
+
+TEST(TiFL, TiersExposedAndAsyncRoundsShorterThanSync) {
+  Fixture f;
+  TiFL tifl(5);
+  const Metrics r_tifl = tifl.run(f.cfg);
+  EXPECT_EQ(tifl.tiers().size(), 5u);
+  data::validate_groups(tifl.tiers(), f.cfg.partition.size());
+
+  FedAvg fedavg;
+  const Metrics r_sync = fedavg.run(f.cfg);
+  EXPECT_LT(r_tifl.average_round_time(), r_sync.average_round_time());
+}
+
+TEST(TiFL, RecordsPositiveStaleness) {
+  Fixture f;
+  TiFL tifl(5);
+  const Metrics res = tifl.run(f.cfg);
+  EXPECT_GT(res.max_staleness(), 0.0);
+}
+
+TEST(AirFedGA, GroupsAreValidAndTimeSimilar) {
+  Fixture f;
+  AirFedGA m;
+  const Metrics res = m.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+  data::validate_groups(m.groups(), f.cfg.partition.size());
+
+  sim::ClusterModel cluster(f.cfg.partition.size(), f.cfg.cluster);
+  const auto lt = cluster.local_times();
+  const auto [mn, mx] = std::minmax_element(lt.begin(), lt.end());
+  const double allowed = 0.3 * (*mx - *mn);  // default xi
+  for (const auto& g : m.groups()) {
+    double gmax = 0.0, gmin = 1e300;
+    for (auto w : g) {
+      gmax = std::max(gmax, lt[w]);
+      gmin = std::min(gmin, lt[w]);
+    }
+    EXPECT_LE(gmax - gmin, allowed + 1e-9);
+  }
+}
+
+TEST(AirFedGA, ShorterRoundsThanSyncAirComp) {
+  Fixture f;
+  AirFedGA ga;
+  AirFedAvg sync;
+  const Metrics r_ga = ga.run(f.cfg);
+  const Metrics r_sync = sync.run(f.cfg);
+  // A group's round waits only for its own slowest member.
+  EXPECT_LT(r_ga.average_round_time(), r_sync.average_round_time());
+}
+
+TEST(AirFedGA, ReachesTargetFasterThanSyncBaselines) {
+  // The paper's headline claim (§VI-B1) at small scale: time to a stable
+  // accuracy is shorter for Air-FedGA than for Air-FedAvg. Needs enough
+  // workers per class (40 workers, 10 classes) for groups to mix labels.
+  Fixture f(42, 40);
+  f.cfg.time_budget = 4000.0;
+  AirFedGA ga;
+  AirFedAvg sync;
+  const Metrics r_ga = ga.run(f.cfg);
+  const Metrics r_sync = sync.run(f.cfg);
+  const double target = 0.55;
+  const double t_ga = r_ga.time_to_accuracy(target);
+  const double t_sync = r_sync.time_to_accuracy(target);
+  ASSERT_GT(t_ga, 0.0) << "Air-FedGA never reached the target";
+  ASSERT_GT(t_sync, 0.0) << "Air-FedAvg never reached the target";
+  EXPECT_LT(t_ga, t_sync);
+}
+
+TEST(AirFedGA, GroupOverrideIsHonored) {
+  Fixture f(11, 8);
+  data::WorkerGroups groups = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  AirFedGA::Options opts;
+  opts.groups_override = groups;
+  AirFedGA m(opts);
+  const Metrics res = m.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+  EXPECT_EQ(m.groups(), groups);
+}
+
+TEST(AirFedGA, GroupOverrideRejectsInvalid) {
+  Fixture f(11, 8);
+  AirFedGA::Options opts;
+  opts.groups_override = data::WorkerGroups{{0, 1}};  // misses workers 2..7
+  AirFedGA m(opts);
+  EXPECT_THROW(m.run(f.cfg), std::invalid_argument);
+}
+
+TEST(AirFedGA, StalenessDampingRuns) {
+  Fixture f;
+  AirFedGA::Options opts;
+  opts.staleness_damping = 0.5;
+  AirFedGA damped(opts);
+  const Metrics res = damped.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+  EXPECT_GT(res.final_accuracy(), 0.2);
+}
+
+TEST(AirFedGA, StarvedGroupDoesNotBlockOthers) {
+  // One worker is so slow its singleton group cannot finish within the
+  // budget; the rest of the system must keep aggregating.
+  Fixture f(13, 6);
+  data::WorkerGroups groups = {{0}, {1}, {2}, {3}, {4}, {5}};
+  AirFedGA::Options opts;
+  opts.groups_override = groups;
+  AirFedGA m(opts);
+  f.cfg.cluster.kappa_max = 10.0;
+  f.cfg.time_budget = 400.0;  // slowest workers (l ~ 60s) get few rounds
+  const Metrics res = m.run(f.cfg);
+  EXPECT_GT(res.total_rounds(), 5u);
+}
+
+TEST(AirFedGA, EarlyStopHonorsTarget) {
+  Fixture f;
+  f.cfg.stop_at_accuracy = 0.4;
+  f.cfg.time_budget = 1e6;
+  f.cfg.max_rounds = 100000;
+  AirFedGA m;
+  const Metrics res = m.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+  // Stopped well before the (absurd) budget once the target was hit.
+  EXPECT_LT(res.total_time(), 1e5);
+  EXPECT_GE(res.final_accuracy(), 0.35);
+}
+
+TEST(AirFedGA, RecordsStalenessAndEnergy) {
+  Fixture f;
+  AirFedGA m;
+  const Metrics res = m.run(f.cfg);
+  EXPECT_GT(res.total_energy(), 0.0);
+  // With multiple asynchronous groups some aggregation must be stale.
+  EXPECT_GT(res.max_staleness(), 0.0);
+}
+
+TEST(FedAsync, LearnsAndRecordsStaleness) {
+  Fixture f;
+  FedAsync m(0.6, 0.5);
+  const Metrics res = m.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+  EXPECT_GT(res.total_rounds(), 50u);  // per-worker updates come fast
+  EXPECT_GT(res.max_staleness(), 5.0);  // and stale (N-1 peers update between)
+  EXPECT_LT(res.final_loss(), res.points().front().loss);
+}
+
+TEST(FedAsync, RoundsAreWorkerGrained) {
+  // Average "round" duration is one worker's turnaround divided by N
+  // (every completion is a global update), far below any group mechanism.
+  Fixture f;
+  FedAsync async_m;
+  AirFedGA ga;
+  const Metrics r_async = async_m.run(f.cfg);
+  const Metrics r_ga = ga.run(f.cfg);
+  EXPECT_LT(r_async.average_round_time(), r_ga.average_round_time());
+}
+
+TEST(FedAsync, DampingStabilizesUnderSkew) {
+  // With label-skewed singleton updates, undamped mixing thrashes the
+  // global model; damping by (1+tau)^a must not be worse at the end.
+  Fixture f;
+  FedAsync undamped(0.9, 0.0);
+  FedAsync damped(0.9, 1.0);
+  const Metrics r_un = undamped.run(f.cfg);
+  const Metrics r_da = damped.run(f.cfg);
+  auto tail_mean = [](const Metrics& m) {
+    const auto& p = m.points();
+    const std::size_t k = std::min<std::size_t>(5, p.size());
+    double acc = 0.0;
+    for (std::size_t i = p.size() - k; i < p.size(); ++i) acc += p[i].accuracy;
+    return acc / static_cast<double>(k);
+  };
+  EXPECT_GE(tail_mean(r_da) + 0.05, tail_mean(r_un));
+}
+
+TEST(FedAsync, RejectsBadParameters) {
+  Fixture f;
+  FedAsync bad_mixing(0.0, 0.5);
+  EXPECT_THROW(bad_mixing.run(f.cfg), std::invalid_argument);
+  FedAsync bad_damping(0.5, -1.0);
+  EXPECT_THROW(bad_damping.run(f.cfg), std::invalid_argument);
+}
+
+/// Seed-sweep property tests: the Alg. 1 invariants must hold for every
+/// random instance, not just the fixture's default seed.
+class AirFedGaProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AirFedGaProperty, ProtocolInvariantsAcrossSeeds) {
+  Fixture f(GetParam(), 24);
+  f.cfg.time_budget = 1200.0;
+  f.cfg.eval_every = 1;
+  AirFedGA ga;
+  const Metrics res = ga.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+
+  // (1) Valid grouping under constraint (36d).
+  data::validate_groups(ga.groups(), 24);
+  sim::ClusterModel cluster(24, f.cfg.cluster);
+  const auto lt = cluster.local_times();
+  const auto [mn, mx] = std::minmax_element(lt.begin(), lt.end());
+  for (const auto& g : ga.groups()) {
+    double gmax = 0.0, gmin = 1e300;
+    for (auto w : g) {
+      gmax = std::max(gmax, lt[w]);
+      gmin = std::min(gmin, lt[w]);
+    }
+    EXPECT_LE(gmax - gmin, 0.3 * (*mx - *mn) + 1e-9);
+  }
+
+  // (2) Monotone virtual time and rounds; staleness below total rounds.
+  double prev_time = -1.0;
+  std::size_t prev_round = 0;
+  for (const auto& p : res.points()) {
+    EXPECT_GE(p.time, prev_time);
+    EXPECT_GT(p.round, prev_round);
+    EXPECT_LT(p.staleness, static_cast<double>(p.round));
+    prev_time = p.time;
+    prev_round = p.round;
+  }
+
+  // (3) Energy increments bounded by group size * cap per round.
+  std::size_t max_group = 0;
+  for (const auto& g : ga.groups()) max_group = std::max(max_group, g.size());
+  double prev_energy = 0.0;
+  for (const auto& p : res.points()) {
+    EXPECT_LE(p.energy - prev_energy,
+              static_cast<double>(max_group) * f.cfg.energy_cap + 1e-9);
+    prev_energy = p.energy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AirFedGaProperty,
+                         testing::Values(101u, 202u, 303u, 404u, 505u, 606u));
+
+TEST(AirFedGA, RunsUnderPathLossChannel) {
+  // Path-loss heterogeneity (distant workers have weak average channels)
+  // feeds straight into the power control's energy bound; the pipeline
+  // must stay stable and keep learning.
+  Fixture f;
+  f.cfg.fading.pathloss_exponent = 3.0;
+  f.cfg.time_budget = 2000.0;
+  AirFedGA ga;
+  const Metrics res = ga.run(f.cfg);
+  ASSERT_FALSE(res.empty());
+  EXPECT_LT(res.final_loss(), res.points().front().loss);
+  EXPECT_GT(res.total_energy(), 0.0);
+}
+
+TEST(AllMechanisms, ReturnTrainedFinalModel) {
+  // Alg. 1 line 32: the run returns w_T. The vector must have the model
+  // dimension and evaluate to the recorded final metrics.
+  Fixture f;
+  f.cfg.time_budget = 800.0;
+  f.cfg.eval_every = 1;  // record every round so w_T matches the last point
+  AirFedGA ga;
+  const Metrics res = ga.run(f.cfg);
+  ASSERT_EQ(res.final_model().size(), f.cfg.model_factory().num_parameters());
+
+  ml::Model m = f.cfg.model_factory();
+  m.set_parameters(res.final_model());
+  std::vector<std::size_t> idx(f.cfg.eval_samples);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  ml::Tensor xs = ml::gather_rows(f.data.test.xs, idx);
+  std::span<const int> ys(f.data.test.ys.data(), f.cfg.eval_samples);
+  const auto ev = m.evaluate(xs, ys);
+  EXPECT_NEAR(ev.accuracy, res.final_accuracy(), 1e-9);
+
+  FedAvg fedavg;
+  EXPECT_EQ(fedavg.run(f.cfg).final_model().size(), res.final_model().size());
+  FedAsync fedasync;
+  EXPECT_EQ(fedasync.run(f.cfg).final_model().size(), res.final_model().size());
+}
+
+TEST(MaxRounds, CapsAllMechanisms) {
+  Fixture f;
+  f.cfg.max_rounds = 7;
+  f.cfg.eval_every = 1;
+  f.cfg.time_budget = 1e9;
+  AirFedGA ga;
+  TiFL tifl(4);
+  AirFedAvg sync;
+  EXPECT_EQ(ga.run(f.cfg).total_rounds(), 7u);
+  EXPECT_EQ(tifl.run(f.cfg).total_rounds(), 7u);
+  EXPECT_EQ(sync.run(f.cfg).total_rounds(), 7u);
+}
+
+}  // namespace
+}  // namespace airfedga::fl

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "fl/metrics.hpp"
+
+namespace airfedga::fl {
+namespace {
+
+Metrics ramp_metrics() {
+  Metrics m;
+  // Accuracy ramps 0.1 -> 0.9 over 9 rounds, 10s apart, 5 J per round.
+  for (std::size_t i = 1; i <= 9; ++i)
+    m.record({static_cast<double>(i) * 10.0, i, 1.0 / static_cast<double>(i),
+              static_cast<double>(i) * 0.1, static_cast<double>(i) * 5.0, 0.0});
+  return m;
+}
+
+TEST(Metrics, RecordsAndSummarizes) {
+  const Metrics m = ramp_metrics();
+  EXPECT_EQ(m.points().size(), 9u);
+  EXPECT_DOUBLE_EQ(m.final_accuracy(), 0.9);
+  EXPECT_DOUBLE_EQ(m.final_loss(), 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(m.total_time(), 90.0);
+  EXPECT_DOUBLE_EQ(m.total_energy(), 45.0);
+  EXPECT_EQ(m.total_rounds(), 9u);
+  EXPECT_DOUBLE_EQ(m.average_round_time(), 10.0);
+}
+
+TEST(Metrics, TimeToAccuracyUnsmoothed) {
+  const Metrics m = ramp_metrics();
+  // window=1: raw accuracy 0.5 first reached at round 5 (t=50).
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.5, 1), 50.0);
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.05, 1), 10.0);
+}
+
+TEST(Metrics, TimeToAccuracySmoothedLags) {
+  const Metrics m = ramp_metrics();
+  // window=3 moving average at index i is mean of last 3 raw values, so
+  // the 0.5 crossing happens one point later (avg at t=60 is 0.5).
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.5, 3), 60.0);
+}
+
+TEST(Metrics, TimeToAccuracyNeverReached) {
+  const Metrics m = ramp_metrics();
+  EXPECT_LT(m.time_to_accuracy(0.95, 1), 0.0);
+}
+
+TEST(Metrics, EnergyToAccuracy) {
+  const Metrics m = ramp_metrics();
+  EXPECT_DOUBLE_EQ(m.energy_to_accuracy(0.5, 1), 25.0);
+  EXPECT_LT(m.energy_to_accuracy(0.99, 1), 0.0);
+}
+
+TEST(Metrics, MaxStaleness) {
+  Metrics m;
+  m.record({1.0, 1, 1.0, 0.1, 0.0, 0.0});
+  m.record({2.0, 2, 1.0, 0.1, 0.0, 4.0});
+  m.record({3.0, 3, 1.0, 0.1, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.max_staleness(), 4.0);
+}
+
+TEST(Metrics, RejectsTimeTravel) {
+  Metrics m;
+  m.record({5.0, 1, 1.0, 0.0, 0.0, 0.0});
+  EXPECT_THROW(m.record({4.0, 2, 1.0, 0.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_NO_THROW(m.record({5.0, 2, 1.0, 0.0, 0.0, 0.0}));  // equal is fine
+}
+
+TEST(Metrics, EmptyDefaults) {
+  Metrics m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.final_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.average_round_time(), 0.0);
+  EXPECT_LT(m.time_to_accuracy(0.1), 0.0);
+}
+
+TEST(Metrics, CsvRoundTripHeaderAndRows) {
+  const Metrics m = ramp_metrics();
+  const std::string path = testing::TempDir() + "/airfedga_metrics_test.csv";
+  m.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "time,round,loss,accuracy,energy,staleness");
+  std::size_t rows = 0;
+  while (std::getline(f, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, 9u);
+}
+
+}  // namespace
+}  // namespace airfedga::fl

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/activation.hpp"
+#include "ml/dense.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/zoo.hpp"
+
+namespace airfedga::ml {
+namespace {
+
+Model tiny_mlp() {
+  Model m;
+  m.add(std::make_unique<Dense>(4, 8));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dense>(8, 3));
+  return m;
+}
+
+TEST(Model, ParameterCount) {
+  Model m = tiny_mlp();
+  EXPECT_EQ(m.num_parameters(), 4u * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(Model, ParameterRoundTrip) {
+  Model m = tiny_mlp();
+  util::Rng rng(1);
+  m.init(rng);
+  auto p = m.parameters();
+  ASSERT_EQ(p.size(), m.num_parameters());
+
+  std::vector<float> changed(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) changed[i] = static_cast<float>(i) * 0.01f;
+  m.set_parameters(changed);
+  EXPECT_EQ(m.parameters(), changed);
+
+  m.set_parameters(p);
+  EXPECT_EQ(m.parameters(), p);
+}
+
+TEST(Model, SetParametersRejectsWrongLength) {
+  Model m = tiny_mlp();
+  std::vector<float> tooShort(m.num_parameters() - 1);
+  std::vector<float> tooLong(m.num_parameters() + 1);
+  EXPECT_THROW(m.set_parameters(tooShort), std::invalid_argument);
+  EXPECT_THROW(m.set_parameters(tooLong), std::invalid_argument);
+}
+
+TEST(Model, ZeroGradClearsAccumulators) {
+  Model m = tiny_mlp();
+  util::Rng rng(2);
+  m.init(rng);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  std::vector<int> y = {0, 2};
+  std::vector<float> g;
+  m.compute_gradient(x, y, g);
+  bool any = false;
+  for (float v : g) any |= (v != 0.0f);
+  EXPECT_TRUE(any);
+  m.zero_grad();
+  for (float v : m.gradients()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Model, GradientMatchesFiniteDifferences) {
+  Model m = tiny_mlp();
+  util::Rng rng(3);
+  m.init(rng);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  std::vector<int> y = {0, 1, 2};
+
+  std::vector<float> grad;
+  m.compute_gradient(x, y, grad);
+
+  auto params = m.parameters();
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < params.size(); i += std::max<std::size_t>(1, params.size() / 23)) {
+    auto up = params, down = params;
+    up[i] += eps;
+    down[i] -= eps;
+    std::vector<float> dummy;
+    m.set_parameters(up);
+    const double lu = m.compute_gradient(x, y, dummy);
+    m.set_parameters(down);
+    const double ld = m.compute_gradient(x, y, dummy);
+    m.set_parameters(params);
+    const double numeric = (lu - ld) / (2.0 * eps);
+    EXPECT_NEAR(grad[i], numeric, 2e-3 + 0.05 * std::abs(numeric)) << "at param " << i;
+  }
+}
+
+TEST(Model, TrainStepDecreasesLossOnFixedBatch) {
+  Model m = tiny_mlp();
+  util::Rng rng(4);
+  m.init(rng);
+  Tensor x = Tensor::randn({16, 4}, rng);
+  std::vector<int> y(16);
+  for (std::size_t i = 0; i < 16; ++i) y[i] = static_cast<int>(i % 3);
+  const double first = m.train_step(x, y, 0.1f);
+  double last = first;
+  for (int s = 0; s < 50; ++s) last = m.train_step(x, y, 0.1f);
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST(Model, TrainStepEqualsManualSgd) {
+  Model a = tiny_mlp();
+  Model b = tiny_mlp();
+  util::Rng ra(5), rb(5);
+  a.init(ra);
+  b.init(rb);
+  ASSERT_EQ(a.parameters(), b.parameters());
+
+  util::Rng rx(6);
+  Tensor x = Tensor::randn({4, 4}, rx);
+  std::vector<int> y = {0, 1, 2, 0};
+  const float lr = 0.05f;
+
+  a.train_step(x, y, lr);
+
+  std::vector<float> grad;
+  b.compute_gradient(x, y, grad);
+  auto p = b.parameters();
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] -= lr * grad[i];
+  b.set_parameters(p);
+
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_FLOAT_EQ(pa[i], pb[i]);
+}
+
+TEST(Model, EvaluatePerfectClassifier) {
+  // A fixed linear model that maps one-hot-ish inputs to matching logits.
+  Model m;
+  m.add(std::make_unique<Dense>(3, 3));
+  auto params = m.parameters();
+  std::fill(params.begin(), params.end(), 0.0f);
+  // W = 10 * I
+  params[0] = params[4] = params[8] = 10.0f;
+  m.set_parameters(params);
+
+  Tensor xs({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  std::vector<int> ys = {0, 1, 2};
+  const auto r = m.evaluate(xs, ys, 2);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_LT(r.loss, 1e-3);
+}
+
+TEST(Model, EvaluateBatchingMatchesSinglePass) {
+  Model m = tiny_mlp();
+  util::Rng rng(7);
+  m.init(rng);
+  Tensor xs = Tensor::randn({37, 4}, rng);
+  std::vector<int> ys(37);
+  for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = static_cast<int>(i % 3);
+  const auto big = m.evaluate(xs, ys, 64);
+  const auto small = m.evaluate(xs, ys, 5);
+  EXPECT_NEAR(big.loss, small.loss, 1e-5);
+  EXPECT_NEAR(big.accuracy, small.accuracy, 1e-12);
+}
+
+TEST(Model, InitIsSeedDeterministic) {
+  Model a = tiny_mlp();
+  Model b = tiny_mlp();
+  util::Rng ra(9), rb(9);
+  a.init(ra);
+  b.init(rb);
+  EXPECT_EQ(a.parameters(), b.parameters());
+}
+
+TEST(Optimizer, PlainSgdMatchesTrainStepRule) {
+  Model m = tiny_mlp();
+  util::Rng rng(10);
+  m.init(rng);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  std::vector<int> y = {0, 1, 2, 1};
+
+  std::vector<float> grad;
+  m.compute_gradient(x, y, grad);
+  auto before = m.parameters();
+
+  SgdOptimizer opt({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step(m);
+  const auto after = m.parameters();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_NEAR(after[i], before[i] - 0.1f * grad[i], 1e-6);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  Model m = tiny_mlp();
+  util::Rng rng(11);
+  m.init(rng);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  std::vector<int> y = {0, 1, 2, 1};
+
+  // Two steps on the same batch with momentum: second step must move
+  // farther than the first (velocity builds up).
+  SgdOptimizer opt({.lr = 0.01f, .momentum = 0.9f, .weight_decay = 0.0f});
+  std::vector<float> g;
+  const auto p0 = m.parameters();
+  m.compute_gradient(x, y, g);
+  opt.step(m);
+  const auto p1 = m.parameters();
+  m.compute_gradient(x, y, g);
+  opt.step(m);
+  const auto p2 = m.parameters();
+
+  double step1 = 0.0, step2 = 0.0;
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    step1 += std::abs(p1[i] - p0[i]);
+    step2 += std::abs(p2[i] - p1[i]);
+  }
+  EXPECT_GT(step2, step1 * 1.2);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Model m;
+  m.add(std::make_unique<Dense>(2, 2));
+  std::vector<float> p = {1.0f, 1.0f, 1.0f, 1.0f, 0.0f, 0.0f};
+  m.set_parameters(p);
+  m.zero_grad();
+  SgdOptimizer opt({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  opt.step(m);  // gradient is zero; only decay acts
+  const auto after = m.parameters();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(after[i], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(Zoo, PaperArchitectureSizes) {
+  // Paper LR on MNIST: 784-512-512-10 MLP.
+  Model lr = make_mlp(784, 10);
+  EXPECT_EQ(lr.num_parameters(), 784u * 512 + 512 + 512u * 512 + 512 + 512u * 10 + 10);
+
+  Model sm = make_softmax_regression(20, 5);
+  EXPECT_EQ(sm.num_parameters(), 20u * 5 + 5);
+}
+
+TEST(Zoo, CnnShapesRun) {
+  Model cnn = make_cnn_mnist(0.2, 12);
+  util::Rng rng(12);
+  cnn.init(rng);
+  Tensor x = Tensor::randn({2, 1, 12, 12}, rng);
+  Tensor logits = cnn.forward(x);
+  EXPECT_EQ(logits.dim(0), 2u);
+  EXPECT_EQ(logits.dim(1), 10u);
+}
+
+TEST(Zoo, CifarCnnShapesRun) {
+  Model cnn = make_cnn_cifar(0.15, 16);
+  util::Rng rng(13);
+  cnn.init(rng);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  Tensor logits = cnn.forward(x);
+  EXPECT_EQ(logits.dim(1), 10u);
+}
+
+TEST(Zoo, VggStyleShapesRun) {
+  Model vgg = make_vgg_style(16, 100, 0.2);
+  util::Rng rng(14);
+  vgg.init(rng);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  Tensor logits = vgg.forward(x);
+  EXPECT_EQ(logits.dim(1), 100u);
+}
+
+TEST(Zoo, WidthScaleShrinksParameterCount) {
+  const std::size_t full = make_cnn_mnist(1.0, 28).num_parameters();
+  const std::size_t small = make_cnn_mnist(0.2, 28).num_parameters();
+  EXPECT_LT(small, full / 5);
+}
+
+TEST(Zoo, RejectsBadImageSizes) {
+  EXPECT_THROW(make_cnn_mnist(1.0, 27), std::invalid_argument);
+  EXPECT_THROW(make_vgg_style(20, 10), std::invalid_argument);
+}
+
+TEST(Zoo, CountParametersMatchesInstance) {
+  ModelFactory f = [] { return make_mlp(10, 3, 16); };
+  EXPECT_EQ(count_parameters(f), f().num_parameters());
+}
+
+}  // namespace
+}  // namespace airfedga::ml

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "data/partition.hpp"
+
+namespace airfedga::data {
+namespace {
+
+Dataset make_ds(std::size_t n, std::size_t classes, std::uint64_t seed) {
+  return make_synthetic_flat(8, {n, classes, 1.0, 0.3, seed});
+}
+
+class PartitionInvariants
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(PartitionInvariants, AllThreePartitionersCoverEachIndexExactlyOnce) {
+  const auto [n, workers, seed] = GetParam();
+  Dataset ds = make_ds(n, 10, seed);
+  util::Rng rng(seed);
+  validate_partition(partition_iid(ds, workers, rng), ds);
+  validate_partition(partition_label_skew(ds, workers, rng), ds);
+  validate_partition(partition_dirichlet(ds, workers, 0.5, rng), ds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionInvariants,
+                         testing::Values(std::make_tuple(1000, 100, 1),
+                                         std::make_tuple(1000, 7, 2),
+                                         std::make_tuple(503, 10, 3),
+                                         std::make_tuple(100, 100, 4),
+                                         std::make_tuple(64, 3, 5)));
+
+TEST(PartitionIid, NearEqualShards) {
+  Dataset ds = make_ds(1000, 10, 6);
+  util::Rng rng(6);
+  const auto p = partition_iid(ds, 30, rng);
+  for (const auto& shard : p) {
+    EXPECT_GE(shard.size(), 33u);
+    EXPECT_LE(shard.size(), 34u);
+  }
+}
+
+TEST(PartitionIid, ShardsAreLabelDiverse) {
+  Dataset ds = make_ds(1000, 10, 7);
+  util::Rng rng(7);
+  const auto p = partition_iid(ds, 10, rng);
+  // With 100 samples per shard and 10 balanced classes, every shard should
+  // see at least 5 distinct labels with overwhelming probability.
+  for (const auto& shard : p) {
+    std::vector<char> seen(10, 0);
+    for (auto idx : shard) seen[static_cast<std::size_t>(ds.ys[idx])] = 1;
+    int distinct = 0;
+    for (char s : seen) distinct += s;
+    EXPECT_GE(distinct, 5);
+  }
+}
+
+TEST(PartitionLabelSkew, PaperSetting100Workers) {
+  // §VI-A: labels 0..9, workers 0..99; label k goes to workers 10k..10k+9,
+  // and every worker holds data of exactly one class.
+  Dataset ds = make_ds(2000, 10, 8);
+  util::Rng rng(8);
+  const auto p = partition_label_skew(ds, 100, rng);
+  for (std::size_t w = 0; w < 100; ++w) {
+    ASSERT_FALSE(p[w].empty()) << "worker " << w;
+    const int expected_label = static_cast<int>(w / 10);
+    for (auto idx : p[w]) EXPECT_EQ(ds.ys[idx], expected_label);
+  }
+}
+
+TEST(PartitionLabelSkew, FewerWorkersThanClasses) {
+  Dataset ds = make_ds(500, 10, 9);
+  util::Rng rng(9);
+  const auto p = partition_label_skew(ds, 5, rng);
+  validate_partition(p, ds);
+  // Each worker should hold exactly 2 of the 10 classes (10 classes over
+  // 5 single-worker blocks, wrapped).
+  for (const auto& shard : p) {
+    std::vector<char> seen(10, 0);
+    for (auto idx : shard) seen[static_cast<std::size_t>(ds.ys[idx])] = 1;
+    int distinct = 0;
+    for (char s : seen) distinct += s;
+    EXPECT_EQ(distinct, 2);
+  }
+}
+
+TEST(PartitionLabelSkew, NoEmptyShardsForAwkwardWorkerCounts) {
+  // Regression: worker counts that are not a multiple of the class count
+  // must still give every worker a nonempty shard (24 workers, 10 classes
+  // used to leave workers 20..23 empty).
+  for (std::size_t workers : {7UL, 13UL, 24UL, 37UL, 99UL}) {
+    Dataset ds = make_ds(workers * 30, 10, workers);
+    util::Rng rng(workers);
+    const auto p = partition_label_skew(ds, workers, rng);
+    validate_partition(p, ds);
+    for (std::size_t w = 0; w < workers; ++w)
+      EXPECT_FALSE(p[w].empty()) << "worker " << w << " of " << workers;
+  }
+}
+
+TEST(PartitionLabelSkew, EachWorkerSingleClassWhenWorkersExceedClasses) {
+  Dataset ds = make_ds(690, 10, 20);
+  util::Rng rng(20);
+  const auto p = partition_label_skew(ds, 23, rng);
+  validate_partition(p, ds);
+  for (const auto& shard : p) {
+    ASSERT_FALSE(shard.empty());
+    const int label = ds.ys[shard.front()];
+    for (auto idx : shard) EXPECT_EQ(ds.ys[idx], label);
+  }
+}
+
+TEST(PartitionDirichlet, AlphaControlsSkew) {
+  Dataset ds = make_ds(5000, 10, 10);
+  util::Rng rng1(10), rng2(10);
+  const auto skewed = partition_dirichlet(ds, 20, 0.05, rng1);
+  const auto smooth = partition_dirichlet(ds, 20, 100.0, rng2);
+
+  auto mean_distinct = [&](const Partition& p) {
+    double acc = 0.0;
+    std::size_t nonempty = 0;
+    for (const auto& shard : p) {
+      if (shard.empty()) continue;
+      std::vector<char> seen(10, 0);
+      for (auto idx : shard) seen[static_cast<std::size_t>(ds.ys[idx])] = 1;
+      int distinct = 0;
+      for (char s : seen) distinct += s;
+      acc += distinct;
+      ++nonempty;
+    }
+    return acc / static_cast<double>(nonempty);
+  };
+  EXPECT_LT(mean_distinct(skewed), mean_distinct(smooth) - 2.0);
+}
+
+TEST(PartitionDirichlet, RejectsBadAlpha) {
+  Dataset ds = make_ds(100, 4, 11);
+  util::Rng rng(11);
+  EXPECT_THROW(partition_dirichlet(ds, 4, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_dirichlet(ds, 4, -1.0, rng), std::invalid_argument);
+}
+
+TEST(Partitioners, RejectZeroWorkers) {
+  Dataset ds = make_ds(100, 4, 12);
+  util::Rng rng(12);
+  EXPECT_THROW(partition_iid(ds, 0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_label_skew(ds, 0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_dirichlet(ds, 0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(ValidatePartition, DetectsDuplicates) {
+  Dataset ds = make_ds(10, 2, 13);
+  Partition p(2);
+  for (std::size_t i = 0; i < 10; ++i) p[0].push_back(i);
+  p[1].push_back(3);  // duplicate
+  EXPECT_THROW(validate_partition(p, ds), std::invalid_argument);
+}
+
+TEST(ValidatePartition, DetectsMissing) {
+  Dataset ds = make_ds(10, 2, 14);
+  Partition p(1);
+  for (std::size_t i = 0; i < 9; ++i) p[0].push_back(i);
+  EXPECT_THROW(validate_partition(p, ds), std::invalid_argument);
+}
+
+TEST(ValidatePartition, DetectsOutOfRange) {
+  Dataset ds = make_ds(10, 2, 15);
+  Partition p(1);
+  for (std::size_t i = 0; i < 10; ++i) p[0].push_back(i);
+  p[0][0] = 99;
+  EXPECT_THROW(validate_partition(p, ds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::data

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/convergence.hpp"
+#include "core/power_control.hpp"
+#include "util/rng.hpp"
+
+namespace airfedga::core {
+namespace {
+
+PowerControlInput paper_like_input(std::uint64_t seed, std::size_t members = 10) {
+  util::Rng rng(seed);
+  PowerControlInput in;
+  in.model_bound_sq = 600.0;
+  in.sigma0_sq = 1.0;
+  in.gains.resize(members);
+  in.data_sizes.resize(members);
+  in.energy_caps.resize(members);
+  double total = 0.0;
+  for (std::size_t i = 0; i < members; ++i) {
+    in.gains[i] = rng.rayleigh(0.8) + 0.1;
+    in.data_sizes[i] = 100.0;
+    in.energy_caps[i] = 10.0;
+    total += in.data_sizes[i];
+  }
+  in.group_data = total;
+  return in;
+}
+
+TEST(PowerControl, Converges) {
+  const auto res = optimize_power(paper_like_input(1));
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.sigma, 0.0);
+  EXPECT_GT(res.eta, 0.0);
+  EXPECT_LT(res.iterations, 50);
+}
+
+TEST(PowerControl, SigmaRespectsEnergyBound) {
+  const auto in = paper_like_input(2);
+  const auto res = optimize_power(in);
+  EXPECT_LE(res.sigma, sigma_energy_bound(in) + 1e-12);
+}
+
+TEST(PowerControl, EnergyConstraintSatisfiedPerWorker) {
+  // Eq. 46: E_i = (d_i sigma / h_i)^2 W^2 <= E_cap for every member, when
+  // the local model norm is at the bound W.
+  const auto in = paper_like_input(3);
+  const auto res = optimize_power(in);
+  for (std::size_t i = 0; i < in.gains.size(); ++i) {
+    const double p = in.data_sizes[i] * res.sigma / in.gains[i];
+    EXPECT_LE(p * p * in.model_bound_sq, in.energy_caps[i] * (1.0 + 1e-9));
+  }
+}
+
+TEST(PowerControl, EtaSatisfiesClosedFormAtFixedPoint) {
+  // Eq. 44 must hold at the converged point.
+  const auto in = paper_like_input(4);
+  const auto res = optimize_power(in);
+  const double numer = res.sigma * res.sigma * in.model_bound_sq +
+                       in.sigma0_sq / (in.group_data * in.group_data);
+  const double denom = res.sigma * in.model_bound_sq;
+  const double expected_eta = (numer / denom) * (numer / denom);
+  EXPECT_NEAR(res.eta, expected_eta, 1e-9 * expected_eta);
+}
+
+TEST(PowerControl, ErrorMatchesEq30) {
+  const auto in = paper_like_input(5);
+  const auto res = optimize_power(in);
+  EXPECT_NEAR(res.error,
+              aggregation_error(res.sigma, res.eta, in.model_bound_sq, in.sigma0_sq,
+                                in.group_data),
+              1e-15);
+}
+
+/// Property test: the converged (sigma*, eta*) is a coordinate-wise
+/// minimum of C_t — no feasible perturbation of sigma alone or eta alone
+/// improves the objective.
+class PowerControlOptimality : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PowerControlOptimality, CoordinateWiseMinimal) {
+  const auto in = paper_like_input(GetParam());
+  const auto res = optimize_power(in);
+  const double cap = sigma_energy_bound(in);
+  const double c_star = res.error;
+
+  for (double f : {0.9, 0.99, 1.01, 1.1}) {
+    // Perturb eta.
+    const double c_eta =
+        aggregation_error(res.sigma, res.eta * f, in.model_bound_sq, in.sigma0_sq, in.group_data);
+    EXPECT_GE(c_eta, c_star - 1e-12) << "eta perturbation " << f << " improved C";
+    // Perturb sigma within the feasible region.
+    const double s = res.sigma * f;
+    if (s <= cap) {
+      const double c_sigma =
+          aggregation_error(s, res.eta, in.model_bound_sq, in.sigma0_sq, in.group_data);
+      EXPECT_GE(c_sigma, c_star - 1e-12) << "sigma perturbation " << f << " improved C";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerControlOptimality,
+                         testing::Values(10u, 11u, 12u, 13u, 14u, 15u, 16u, 17u));
+
+TEST(PowerControl, NoiselessChannelGivesUnbiasedScaling) {
+  // With sigma0 = 0, the optimum is sigma = sqrt(eta) exactly (C = 0).
+  auto in = paper_like_input(6);
+  in.sigma0_sq = 0.0;
+  const auto res = optimize_power(in);
+  EXPECT_NEAR(res.sigma / std::sqrt(res.eta), 1.0, 1e-9);
+  EXPECT_NEAR(res.error, 0.0, 1e-12);
+}
+
+TEST(PowerControl, TightEnergyBudgetRaisesError) {
+  auto rich = paper_like_input(7);
+  auto poor = paper_like_input(7);
+  for (auto& e : poor.energy_caps) e = 0.01;
+  const auto r_rich = optimize_power(rich);
+  const auto r_poor = optimize_power(poor);
+  EXPECT_LT(r_poor.sigma, r_rich.sigma);
+  EXPECT_GT(r_poor.error, r_rich.error);
+}
+
+TEST(PowerControl, LargerGroupDataLowersNoiseError) {
+  // Identical channels and energy caps; only D_jt differs. The 1/D_j^2
+  // noise term (Eq. 30) must make the larger group strictly better.
+  auto make = [](std::size_t members) {
+    PowerControlInput in;
+    in.model_bound_sq = 600.0;
+    in.sigma0_sq = 1.0;
+    in.gains.assign(members, 1.0);
+    in.data_sizes.assign(members, 100.0);
+    in.energy_caps.assign(members, 10.0);
+    in.group_data = 100.0 * static_cast<double>(members);
+    return in;
+  };
+  const auto r_small = optimize_power(make(2));
+  const auto r_large = optimize_power(make(30));
+  EXPECT_LT(r_large.error, r_small.error);
+}
+
+TEST(PowerControl, WeakestChannelDrivesSigmaBound) {
+  auto in = paper_like_input(9);
+  const double before = sigma_energy_bound(in);
+  in.gains[0] = 1e-3;  // one worker in a deep fade
+  const double after = sigma_energy_bound(in);
+  EXPECT_LT(after, before);
+  const auto res = optimize_power(in);
+  EXPECT_LE(res.sigma, after + 1e-15);
+}
+
+TEST(PowerControl, InputValidation) {
+  PowerControlInput in = paper_like_input(10);
+  in.gains.pop_back();
+  EXPECT_THROW(optimize_power(in), std::invalid_argument);
+
+  in = paper_like_input(10);
+  in.group_data = 0.0;
+  EXPECT_THROW(optimize_power(in), std::invalid_argument);
+
+  in = paper_like_input(10);
+  in.gains[0] = 0.0;
+  EXPECT_THROW(optimize_power(in), std::invalid_argument);
+
+  in = paper_like_input(10);
+  in.energy_caps[0] = -1.0;
+  EXPECT_THROW(optimize_power(in), std::invalid_argument);
+
+  PowerControlInput empty;
+  empty.gains.clear();
+  EXPECT_THROW(optimize_power(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::core

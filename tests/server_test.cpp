@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "fl/server.hpp"
+
+namespace airfedga::fl {
+namespace {
+
+TEST(Server, ReadyCountsUntilGroupComplete) {
+  ParameterServer ps({1.0f, 2.0f}, 2);
+  EXPECT_FALSE(ps.ready(0, 3));
+  EXPECT_FALSE(ps.ready(0, 3));
+  EXPECT_TRUE(ps.ready(0, 3));
+  EXPECT_EQ(ps.ready_count(0), 3u);
+  EXPECT_EQ(ps.ready_count(1), 0u);
+}
+
+TEST(Server, ReadyOverflowIsProtocolViolation) {
+  ParameterServer ps({1.0f}, 1);
+  EXPECT_TRUE(ps.ready(0, 1));
+  // A second READY without an intervening EXECUTE/aggregation means a
+  // worker double-reported: Alg. 1 lines 17-23 cannot produce this.
+  EXPECT_THROW(ps.ready(0, 1), std::logic_error);
+}
+
+TEST(Server, CompleteRoundInstallsModelAndResetsCounter) {
+  ParameterServer ps({0.0f, 0.0f}, 2);
+  ps.ready(0, 1);
+  ps.complete_round(0, {5.0f, 6.0f});
+  EXPECT_EQ(ps.round(), 1u);
+  EXPECT_EQ(ps.ready_count(0), 0u);
+  EXPECT_FLOAT_EQ(ps.global_model()[0], 5.0f);
+  EXPECT_FLOAT_EQ(ps.global_model()[1], 6.0f);
+}
+
+TEST(Server, StalenessMatchesPaperExample) {
+  // Fig. 2 walkthrough: three groups; group 0 aggregates at rounds 1..3,
+  // then group 2 aggregates at round 4 having last received w_0 -> tau = 3.
+  ParameterServer ps({0.0f}, 3);
+
+  // Round 1: group 0, trained from w_0 (base 0) -> tau_1 = 0.
+  EXPECT_EQ(ps.staleness(0), 0u);
+  ps.complete_round(0, {1.0f});
+
+  // Rounds 2,3: group 0 again (it re-received the model each time).
+  EXPECT_EQ(ps.staleness(0), 0u);
+  ps.complete_round(0, {2.0f});
+  EXPECT_EQ(ps.staleness(0), 0u);
+  ps.complete_round(0, {3.0f});
+
+  // Round 4: group 2 still holds w_0 -> tau_4 = 4 - 1 = 3.
+  EXPECT_EQ(ps.staleness(2), 3u);
+  ps.complete_round(2, {4.0f});
+  // Having received w_4, an immediate re-aggregation would be fresh.
+  EXPECT_EQ(ps.staleness(2), 0u);
+}
+
+TEST(Server, ModelSizeMustNotChange) {
+  ParameterServer ps({1.0f, 2.0f}, 1);
+  EXPECT_THROW(ps.complete_round(0, {1.0f}), std::invalid_argument);
+}
+
+TEST(Server, Validation) {
+  EXPECT_THROW(ParameterServer({}, 1), std::invalid_argument);
+  EXPECT_THROW(ParameterServer({1.0f}, 0), std::invalid_argument);
+  ParameterServer ps({1.0f}, 1);
+  EXPECT_THROW(ps.ready(5, 1), std::out_of_range);
+  EXPECT_THROW(ps.ready(0, 0), std::invalid_argument);
+  EXPECT_THROW(ps.complete_round(9, {1.0f}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace airfedga::fl

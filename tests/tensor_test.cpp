@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ml/model.hpp"
+#include "ml/tensor.hpp"
+
+namespace airfedga::ml {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(t.shape_string(), "(2,3)");
+}
+
+TEST(Tensor, RejectsBadRank) {
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), std::invalid_argument);
+  EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsDataShapeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at2(0, 2), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, At4NchwLayout) {
+  Tensor t({1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at4(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at4(0, 0, 1, 1), 3.0f);
+  EXPECT_EQ(t.at4(0, 1, 0, 0), 4.0f);
+  EXPECT_EQ(t.at4(0, 1, 1, 1), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.at2(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(3);
+  Tensor t = Tensor::randn({100, 100}, rng, 0.5f);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.5, 0.02);
+}
+
+TEST(Tensor, NormMatchesHandComputed) {
+  Tensor t({1, 2}, {3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(t.norm(), 5.0);
+}
+
+TEST(Matmul, HandComputed2x2) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Matmul, RejectsDimensionMismatch) {
+  Tensor a({2, 3});
+  Tensor b({2, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  util::Rng rng(4);
+  Tensor a = Tensor::randn({5, 5}, rng);
+  Tensor eye({5, 5});
+  for (std::size_t i = 0; i < 5; ++i) eye.at2(i, i) = 1.0f;
+  Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+/// matmul_nt(a, b) must equal matmul(a, b^T); matmul_tn(a, b) = a^T b.
+class MatmulVariants : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulVariants, TransposedFormsAgree) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::randn({static_cast<std::size_t>(m), static_cast<std::size_t>(k)}, rng);
+  Tensor b = Tensor::randn({static_cast<std::size_t>(k), static_cast<std::size_t>(n)}, rng);
+
+  Tensor bt({static_cast<std::size_t>(n), static_cast<std::size_t>(k)});
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) bt.at2(j, i) = b.at2(i, j);
+  Tensor at({static_cast<std::size_t>(k), static_cast<std::size_t>(m)});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j) at.at2(j, i) = a.at2(i, j);
+
+  const Tensor ref = matmul(a, b);
+  const Tensor via_nt = matmul_nt(a, bt);
+  ASSERT_EQ(via_nt.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(via_nt[i], ref[i], 1e-4);
+
+  // matmul_tn(a^T stored as `at`, ...) left implicit: check a^T(ab) below.
+  (void)at;
+  const Tensor tn = matmul_tn(a, ref);  // a^T (a b), shape (k, n)
+  Tensor expect({static_cast<std::size_t>(k), static_cast<std::size_t>(n)});
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < m; ++i) acc += a.at2(static_cast<std::size_t>(i),
+                                               static_cast<std::size_t>(kk)) *
+                                         ref.at2(static_cast<std::size_t>(i),
+                                                 static_cast<std::size_t>(j));
+      expect.at2(static_cast<std::size_t>(kk), static_cast<std::size_t>(j)) = acc;
+    }
+  for (std::size_t i = 0; i < tn.size(); ++i) EXPECT_NEAR(tn[i], expect[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulVariants,
+                         testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                                         std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                                         std::make_tuple(33, 17, 9)));
+
+TEST(VectorOps, AxpyAndDot) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(squared_norm(x), 14.0);
+}
+
+TEST(VectorOps, SizeChecks) {
+  std::vector<float> x = {1, 2};
+  std::vector<float> y = {1};
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+  EXPECT_THROW(dot(x, y), std::invalid_argument);
+}
+
+TEST(AddInplace, ElementwiseSum) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a.at2(1, 1), 44.0f);
+}
+
+TEST(GatherRows, Matrix) {
+  Tensor t({3, 2}, {0, 1, 10, 11, 20, 21});
+  std::vector<std::size_t> idx = {2, 0};
+  Tensor g = gather_rows(t, idx);
+  EXPECT_EQ(g.dim(0), 2u);
+  EXPECT_FLOAT_EQ(g.at2(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(g.at2(1, 1), 1.0f);
+}
+
+TEST(GatherRows, Nchw) {
+  Tensor t({2, 1, 2, 2}, {0, 1, 2, 3, 10, 11, 12, 13});
+  std::vector<std::size_t> idx = {1};
+  Tensor g = gather_rows(t, idx);
+  EXPECT_EQ(g.dim(0), 1u);
+  EXPECT_FLOAT_EQ(g.at4(0, 0, 1, 1), 13.0f);
+}
+
+TEST(GatherRows, RejectsOutOfRange) {
+  Tensor t({2, 2});
+  std::vector<std::size_t> idx = {2};
+  EXPECT_THROW(gather_rows(t, idx), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace airfedga::ml

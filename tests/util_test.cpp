@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace airfedga::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.fork(7);
+  Rng c2 = parent.fork(7);
+  Rng c3 = parent.fork(8);
+  EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+  EXPECT_NE(c1.uniform(), c3.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  RunningStat st;
+  for (int i = 0; i < 20000; ++i) st.push(rng.normal(1.0, 2.0));
+  EXPECT_NEAR(st.mean(), 1.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, RayleighMeanMatchesTheory) {
+  Rng rng(7);
+  RunningStat st;
+  const double scale = 0.8;
+  for (int i = 0; i < 20000; ++i) st.push(rng.rayleigh(scale));
+  // E[Rayleigh(s)] = s * sqrt(pi/2)
+  EXPECT_NEAR(st.mean(), scale * std::sqrt(M_PI / 2.0), 0.02);
+  EXPECT_GT(st.min(), 0.0);
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.randint(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(9);
+  auto p = rng.permutation(100);
+  std::vector<char> seen(100, 0);
+  for (auto v : p) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(10);
+  auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(11);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.push(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_EQ(st.count(), 8u);
+}
+
+TEST(Quantile, EndpointsAndMedian) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  std::vector<double> xs(101);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  const auto b = boxplot(xs);
+  EXPECT_DOUBLE_EQ(b.min, 0.0);
+  EXPECT_DOUBLE_EQ(b.q1, 25.0);
+  EXPECT_DOUBLE_EQ(b.median, 50.0);
+  EXPECT_DOUBLE_EQ(b.q3, 75.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+TEST(MovingAverage, WindowBehaviour) {
+  std::vector<double> xs = {1, 1, 1, 4, 4, 4};
+  const auto m = moving_average(xs, 3);
+  ASSERT_EQ(m.size(), xs.size());
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+  EXPECT_DOUBLE_EQ(m[2], 1.0);
+  EXPECT_DOUBLE_EQ(m[3], 2.0);
+  EXPECT_DOUBLE_EQ(m[5], 4.0);
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW(moving_average(xs, 0), std::invalid_argument);
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::fmt(1.23456, 2)});
+  t.add_row({"b", Table::fmt_int(42)});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/airfedga_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "name,value");
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(
+      hits.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialFallbackForSmallN) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(5, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(ThreadPool, ZeroWorkItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(SplitMix, MixesDistinctInputs) {
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace airfedga::util
