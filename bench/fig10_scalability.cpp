@@ -11,11 +11,126 @@
 // Scale-down vs. paper: MLP-64 on the MNIST-like dataset. The MLP's 55k
 // parameters keep the OMA-vs-AirComp upload asymmetry realistic
 // (1.76s/worker OMA vs 3.9ms AirComp).
+//
+// Engine mode: `--threads=<list>` (e.g. --threads=4 or --threads=1,2,4)
+// switches to the execution-engine sweep instead: it runs a fixed workload
+// at each training-lane count (a 1-lane baseline is always included),
+// reports wall-clock speedup, and verifies that the recorded metrics are
+// bit-identical across lane counts.
+
+#include <chrono>
+#include <string>
 
 #include "common.hpp"
 
-int main() {
+namespace {
+
+using namespace airfedga;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// One engine-sweep measurement: every mechanism once, at `threads` lanes.
+struct SweepRun {
+  double wall = 0.0;
+  std::vector<fl::Metrics> runs;
+};
+
+SweepRun run_workload(std::size_t threads) {
+  const std::size_t workers = 40;
+  bench::Experiment exp(data::make_mnist_like(3000, 800, 8), workers,
+                        [] { return ml::make_mlp(784, 10, 64); });
+  exp.cfg.learning_rate = 1.0f;
+  exp.cfg.batch_size = 0;
+  exp.cfg.time_budget = 8000.0;
+  exp.cfg.eval_every = 5;
+  exp.cfg.eval_samples = 500;
+  exp.cfg.max_rounds = 60;
+  exp.cfg.threads = threads;
+
+  fl::FedAvg fedavg;
+  fl::TiFL tifl(4);
+  fl::AirFedGA airfedga;
+
+  SweepRun out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.runs.push_back(fedavg.run(exp.cfg));
+  out.runs.push_back(tifl.run(exp.cfg));
+  out.runs.push_back(airfedga.run(exp.cfg));
+  out.wall = wall_seconds_since(t0);
+  return out;
+}
+
+/// Parses "4" / "1,2,4" into lane counts. Returns false (with a message on
+/// stderr) on anything that isn't a comma-separated list of integers >= 1.
+bool parse_thread_list(const std::string& list, std::vector<std::size_t>& counts) {
+  if (list.empty()) {
+    std::fprintf(stderr, "--threads: expected a comma-separated list of lane counts >= 1\n");
+    return false;
+  }
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string tok = list.substr(pos, comma - pos);
+    if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos ||
+        tok.size() > 4 || std::stoul(tok) == 0) {
+      std::fprintf(stderr, "--threads: bad lane count '%s' (want an integer in [1, 9999])\n",
+                   tok.c_str());
+      return false;
+    }
+    const std::size_t v = std::stoul(tok);
+    if (std::find(counts.begin(), counts.end(), v) == counts.end()) counts.push_back(v);
+    pos = comma + 1;
+  }
+  return true;
+}
+
+int run_thread_sweep(const std::string& list) {
+  std::vector<std::size_t> counts = {1};  // the serial baseline anchors speedup
+  if (!parse_thread_list(list, counts)) return 2;
+
+  util::Table t({"threads", "wall(s)", "speedup vs 1", "bit-identical"});
+  SweepRun baseline;
+  bool all_identical = true;
+  for (std::size_t threads : counts) {
+    SweepRun r = run_workload(threads);
+    bool identical = true;
+    if (threads == counts.front()) {
+      baseline = std::move(r);
+      t.add_row({util::Table::fmt_int(static_cast<long long>(threads)),
+                 util::Table::fmt(baseline.wall, 2), "1.00", "baseline"});
+      continue;
+    }
+    for (std::size_t i = 0; i < r.runs.size(); ++i)
+      identical = identical && baseline.runs[i].bit_identical(r.runs[i]);
+    all_identical = all_identical && identical;
+    t.add_row({util::Table::fmt_int(static_cast<long long>(threads)),
+               util::Table::fmt(r.wall, 2), util::Table::fmt(baseline.wall / r.wall, 2),
+               identical ? "yes" : "NO"});
+  }
+
+  std::printf("=== Execution-engine sweep: FedAvg + TiFL + Air-FedGA, N=40, MLP-64 ===\n");
+  t.print(std::cout);
+  t.write_csv(bench::results_dir() + "/fig10_thread_sweep.csv");
+  if (!all_identical) {
+    std::printf("ERROR: metrics diverged across lane counts (determinism violation)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace airfedga;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) return run_thread_sweep(arg.substr(10));
+    std::fprintf(stderr, "unknown argument: %s (supported: --threads=<list>)\n", arg.c_str());
+    return 2;
+  }
+
   const double target = 0.80;
 
   util::Table round_table(

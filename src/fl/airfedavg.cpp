@@ -22,9 +22,8 @@ Metrics AirFedAvg::run(const FLConfig& cfg) {
   double energy = 0.0;
   for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
     if (now + round_time > cfg.time_budget) break;
-    for (auto& worker : driver.workers())
-      worker.local_update(driver.scratch(), w, cfg.learning_rate, cfg.local_steps,
-                          cfg.batch_size);
+    // Synchronous round on the driver's training lanes (barrier at the end).
+    driver.train_workers(everyone, w);
     now += round_time;
     // All workers transmit concurrently; power control per Alg. 2.
     w = driver.aircomp_aggregate(everyone, w, t, energy);

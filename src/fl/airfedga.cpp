@@ -44,12 +44,14 @@ Metrics AirFedGA::run(const FLConfig& cfg) {
 
   sim::EventQueue queue;
   // Round 0: every worker holds w_0, trains, and reports READY (Alg. 1
-  // lines 5-8). Compute happens eagerly; completion time is virtual.
-  for (std::size_t i = 0; i < driver.num_workers(); ++i) {
-    driver.worker(i).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
-                                  cfg.local_steps, cfg.batch_size);
+  // lines 5-8). Training is submitted to the driver's lanes; completion
+  // time is virtual, and the models are collected at the group's
+  // aggregation barrier below.
+  std::vector<std::size_t> everyone(driver.num_workers());
+  for (std::size_t i = 0; i < driver.num_workers(); ++i) everyone[i] = i;
+  driver.begin_training(everyone, server.global_model());
+  for (std::size_t i = 0; i < driver.num_workers(); ++i)
     queue.schedule(local_times[i], kReady, i);
-  }
 
   double energy = 0.0;
   while (!queue.empty()) {
@@ -66,7 +68,10 @@ Metrics AirFedGA::run(const FLConfig& cfg) {
     }
 
     // kAggregate: over-the-air aggregation of group j (Alg. 1 lines 24-26).
+    // Fixed-order barrier: collect the group's in-flight training jobs
+    // before reading their local models; other groups keep training.
     const std::size_t j = ev.actor;
+    driver.finish_training(groups_[j]);
     const auto tau = static_cast<double>(server.staleness(j));
     const std::size_t fading_round = server.round() + 1;
     auto w_new =
@@ -86,12 +91,10 @@ Metrics AirFedGA::run(const FLConfig& cfg) {
     if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
 
     // The group receives w_t and starts the next local round (Alg. 1
-    // line 26 followed by lines 6-8).
-    for (auto m : groups_[j]) {
-      driver.worker(m).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
-                                    cfg.local_steps, cfg.batch_size);
-      queue.schedule(ev.time + local_times[m], kReady, m);
-    }
+    // line 26 followed by lines 6-8), overlapping with every other group's
+    // in-flight training and with later aggregations of other groups.
+    driver.begin_training(groups_[j], server.global_model());
+    for (auto m : groups_[j]) queue.schedule(ev.time + local_times[m], kReady, m);
   }
   metrics.set_final_model(server.model_vector());
   return metrics;

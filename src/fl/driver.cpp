@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 namespace airfedga::fl {
 
@@ -17,6 +18,13 @@ void FLConfig::validate() const {
   if (eval_every == 0) throw std::invalid_argument("FLConfig: eval_every must be >= 1");
   if (energy_cap <= 0.0) throw std::invalid_argument("FLConfig: energy cap must be > 0");
 }
+
+namespace {
+std::size_t resolve_lanes(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+}  // namespace
 
 Driver::Driver(const FLConfig& cfg)
     : cfg_(&cfg),
@@ -38,6 +46,19 @@ Driver::Driver(const FLConfig& cfg)
   for (std::size_t i = 0; i < cfg.partition.size(); ++i)
     workers_.emplace_back(i, *cfg.train, cfg.partition[i], root.fork(1000 + i));
 
+  // Execution engine: lanes_ concurrent training slots. A single lane runs
+  // tasks inline on the simulation thread (no pool threads), which is the
+  // reference serial schedule; more lanes spread workers across a private
+  // pool. At most one leased scratch model is live per lane, so memory
+  // stays O(lanes), not O(workers).
+  lanes_ = resolve_lanes(cfg.threads);
+  const std::size_t n_scratch = std::min(lanes_, workers_.size());
+  scratch_free_.reserve(n_scratch);
+  for (std::size_t i = 0; i < n_scratch; ++i)
+    scratch_free_.push_back(std::make_unique<ml::Model>(cfg.model_factory()));
+  pending_.resize(workers_.size());
+  pool_ = std::make_unique<util::ThreadPool>(lanes_ > 1 ? lanes_ : 0);
+
   // Fixed evaluation subset: the first eval_samples test points (the test
   // set is already shuffled at generation time).
   const std::size_t n_eval = std::min(cfg.eval_samples, cfg.test->size());
@@ -46,6 +67,79 @@ Driver::Driver(const FLConfig& cfg)
   for (std::size_t i = 0; i < n_eval; ++i) idx[i] = i;
   eval_xs_ = ml::gather_rows(cfg.test->xs, idx);
   eval_ys_.assign(cfg.test->ys.begin(), cfg.test->ys.begin() + static_cast<std::ptrdiff_t>(n_eval));
+}
+
+Driver::~Driver() {
+  // Collect any jobs a mechanism left in flight when it stopped early, so
+  // no task outlives the state it references (the pool joins right after).
+  for (auto& f : pending_) {
+    if (f.valid()) {
+      try {
+        f.get();
+      } catch (...) {  // mechanism already returned; nothing to rethrow into
+      }
+    }
+  }
+}
+
+std::unique_ptr<ml::Model> Driver::acquire_scratch() {
+  std::scoped_lock lock(scratch_mutex_);
+  if (scratch_free_.empty()) {
+    // Unreachable when concurrency <= lanes, but a fresh model keeps the
+    // engine correct if a caller oversubscribes.
+    return std::make_unique<ml::Model>(cfg_->model_factory());
+  }
+  auto m = std::move(scratch_free_.back());
+  scratch_free_.pop_back();
+  return m;
+}
+
+void Driver::release_scratch(std::unique_ptr<ml::Model> m) {
+  std::scoped_lock lock(scratch_mutex_);
+  scratch_free_.push_back(std::move(m));
+}
+
+void Driver::begin_training(const std::vector<std::size_t>& members,
+                            std::span<const float> global) {
+  // Snapshot the global model once: the server may install a newer version
+  // while these jobs are still running (asynchronous groups), and every
+  // member of the batch must train from the same w_t it was sent.
+  auto snapshot = std::make_shared<const std::vector<float>>(global.begin(), global.end());
+  const float lr = cfg_->learning_rate;
+  const std::size_t steps = cfg_->local_steps;
+  const std::size_t batch = cfg_->batch_size;
+  for (auto m : members) {
+    Worker& w = workers_.at(m);
+    if (pending_[m].valid())
+      throw std::logic_error("Driver::begin_training: worker already has a job in flight");
+    pending_[m] = pool_->submit([this, &w, snapshot, lr, steps, batch] {
+      // Serial region: worker training is the unit of parallelism, so the
+      // ML kernels underneath must not fan out again (deadlock/thrash); it
+      // also makes the 1-lane inline schedule identical to a pool lane's.
+      util::ThreadPool::SerialRegion serial;
+      auto scratch = acquire_scratch();
+      try {
+        w.local_update(*scratch, *snapshot, lr, steps, batch);
+      } catch (...) {
+        release_scratch(std::move(scratch));
+        throw;
+      }
+      release_scratch(std::move(scratch));
+    });
+  }
+}
+
+void Driver::finish_training(const std::vector<std::size_t>& members) {
+  for (auto m : members) {
+    auto& f = pending_.at(m);
+    if (f.valid()) f.get();
+  }
+}
+
+void Driver::train_workers(const std::vector<std::size_t>& members,
+                           std::span<const float> global) {
+  begin_training(members, global);
+  finish_training(members);
 }
 
 std::vector<float> Driver::initial_model() {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "fl/worker.hpp"
 #include "ml/model.hpp"
 #include "sim/cluster.hpp"
+#include "util/thread_pool.hpp"
 
 namespace airfedga::fl {
 
@@ -50,19 +53,38 @@ struct FLConfig {
   double stop_at_accuracy = -1.0;   ///< early stop once smoothed acc >= this
   std::uint64_t seed = 42;
 
+  /// Concurrent local-training lanes for the execution engine: 0 = one lane
+  /// per hardware thread, 1 = serial (the seed behaviour), k = exactly k
+  /// lanes. Results are bit-identical for every value — each worker trains
+  /// on its own RNG stream and a leased scratch model, and all aggregation
+  /// reductions run in fixed member order on the simulation thread.
+  std::size_t threads = 0;
+
   void validate() const;
 };
 
-/// Shared runtime for one mechanism run: workers, scratch model, channel
+/// Shared runtime for one mechanism run: workers, scratch models, channel
 /// instances, the evaluation subset, and the common bookkeeping all five
 /// mechanisms need. Mechanisms own a Driver for the duration of `run`.
+///
+/// Execution engine: the driver owns a private thread pool with
+/// `training_lanes()` lanes. Mechanisms hand it batches of workers to train
+/// — either as a blocking barrier (`train_workers`, synchronous rounds) or
+/// split into `begin_training` / `finish_training` so independent groups
+/// overlap local training between aggregations (Air-FedGA, TiFL, FedAsync).
+/// The simulation (event queue, parameter server, aggregation, metrics)
+/// stays on the calling thread; only `Worker::local_update` runs on lanes.
 class Driver {
  public:
   explicit Driver(const FLConfig& cfg);
+  ~Driver();
 
   [[nodiscard]] const FLConfig& config() const { return *cfg_; }
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
   [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
+
+  /// Resolved lane count (cfg.threads with 0 mapped to the hardware).
+  [[nodiscard]] std::size_t training_lanes() const { return lanes_; }
 
   std::vector<Worker>& workers() { return workers_; }
   Worker& worker(std::size_t i) { return workers_.at(i); }
@@ -73,6 +95,19 @@ class Driver {
   [[nodiscard]] const sim::ClusterModel& cluster() const { return cluster_; }
   [[nodiscard]] const channel::FadingChannel& fading() const { return fading_; }
   [[nodiscard]] const channel::LatencyModel& latency() const { return latency_; }
+
+  /// Starts local training (Eq. 4) for every worker in `members` from a
+  /// snapshot of `global`, one pool task per worker. Returns immediately;
+  /// the models become visible only after `finish_training`. A worker may
+  /// not be enqueued again before its previous job was collected.
+  void begin_training(const std::vector<std::size_t>& members, std::span<const float> global);
+
+  /// Blocks until every in-flight job for `members` completed, collecting
+  /// futures in member order (fixed-order barrier). Rethrows task errors.
+  void finish_training(const std::vector<std::size_t>& members);
+
+  /// Barrier convenience: begin + finish (synchronous-round mechanisms).
+  void train_workers(const std::vector<std::size_t>& members, std::span<const float> global);
 
   /// Deterministic initial global model (same seed => same start for every
   /// mechanism, so curves are comparable).
@@ -107,9 +142,12 @@ class Driver {
                     double staleness, std::span<const float> model);
 
  private:
+  std::unique_ptr<ml::Model> acquire_scratch();
+  void release_scratch(std::unique_ptr<ml::Model> m);
+
   const FLConfig* cfg_;
   std::vector<Worker> workers_;
-  ml::Model scratch_;
+  ml::Model scratch_;               ///< evaluation scratch (simulation thread only)
   std::size_t model_dim_ = 0;
   data::DataStats stats_;
   sim::ClusterModel cluster_;
@@ -118,6 +156,16 @@ class Driver {
   channel::LatencyModel latency_;
   ml::Tensor eval_xs_;
   std::vector<int> eval_ys_;
+
+  // Execution engine state. One pre-allocated scratch model per lane,
+  // leased to training tasks; `pending_[i]` is worker i's in-flight job.
+  std::size_t lanes_ = 1;
+  std::mutex scratch_mutex_;
+  std::vector<std::unique_ptr<ml::Model>> scratch_free_;
+  std::vector<std::future<void>> pending_;
+  // Destroyed first (declared last): joining the pool drains outstanding
+  // tasks before any state they reference goes away.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 /// Interface shared by the five mechanisms (Table I of the paper).

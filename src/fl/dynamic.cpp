@@ -36,9 +36,8 @@ Metrics DynamicAirComp::run(const FLConfig& cfg) {
     const double round_time = compute_time + upload_time;
     if (now + round_time > cfg.time_budget) break;
 
-    for (auto i : selected)
-      driver.worker(i).local_update(driver.scratch(), w, cfg.learning_rate, cfg.local_steps,
-                                    cfg.batch_size);
+    // Admitted subset trains concurrently on the driver's lanes (barrier).
+    driver.train_workers(selected, w);
     now += round_time;
     w = driver.aircomp_aggregate(selected, w, t, energy);
 

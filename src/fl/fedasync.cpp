@@ -21,10 +21,12 @@ Metrics FedAsync::run(const FLConfig& cfg) {
   ParameterServer server(driver.initial_model(), driver.num_workers());
   const double upload_time = driver.latency().oma_upload_seconds(driver.model_dim(), 1);
 
+  // Fully asynchronous: every worker's local training is an independent
+  // in-flight job on the driver's lanes, collected when its (virtual-time)
+  // upload event is processed.
   sim::EventQueue queue;
   for (std::size_t i = 0; i < driver.num_workers(); ++i) {
-    driver.worker(i).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
-                                  cfg.local_steps, cfg.batch_size);
+    driver.begin_training({i}, server.global_model());
     queue.schedule(local_times[i] + upload_time, /*kind=*/0, i);
   }
 
@@ -33,6 +35,7 @@ Metrics FedAsync::run(const FLConfig& cfg) {
     if (ev.time > cfg.time_budget) break;
     const std::size_t i = ev.actor;
 
+    driver.finish_training({i});
     const auto tau = static_cast<double>(server.staleness(i));
     const double alpha = mixing_ / std::pow(1.0 + tau, damping_);
     const auto w_prev = server.global_model();
@@ -46,8 +49,7 @@ Metrics FedAsync::run(const FLConfig& cfg) {
                         server.global_model());
     if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
 
-    driver.worker(i).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
-                                  cfg.local_steps, cfg.batch_size);
+    driver.begin_training({i}, server.global_model());
     queue.schedule(ev.time + local_times[i] + upload_time, /*kind=*/0, i);
   }
   metrics.set_final_model(server.model_vector());

@@ -22,10 +22,9 @@ Metrics FedAvg::run(const FLConfig& cfg) {
   double now = 0.0;
   for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
     if (now + round_time > cfg.time_budget) break;
-    // Synchronous round: every worker trains from w_{t-1} (Eq. 4)...
-    for (auto& worker : driver.workers())
-      worker.local_update(driver.scratch(), w, cfg.learning_rate, cfg.local_steps,
-                          cfg.batch_size);
+    // Synchronous round: every worker trains from w_{t-1} (Eq. 4), spread
+    // across the driver's training lanes up to the round barrier...
+    driver.train_workers(everyone, w);
     now += round_time;
     // ... and the PS forms the exact weighted average (OMA is reliable).
     w = driver.oma_aggregate(everyone, w);

@@ -1,6 +1,7 @@
 #include "fl/metrics.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -12,6 +13,26 @@ void Metrics::record(MetricPoint p) {
   if (!points_.empty() && p.time < points_.back().time)
     throw std::invalid_argument("Metrics::record: time went backwards");
   points_.push_back(p);
+}
+
+bool Metrics::bit_identical(const Metrics& other) const {
+  const auto& pa = points_;
+  const auto& pb = other.points_;
+  if (pa.size() != pb.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    // Exact comparison is deliberate: determinism means the same bits, not
+    // the same values up to a tolerance. memcmp over the structs would also
+    // compare padding, so compare field by field.
+    if (pa[i].time != pb[i].time || pa[i].round != pb[i].round || pa[i].loss != pb[i].loss ||
+        pa[i].accuracy != pb[i].accuracy || pa[i].energy != pb[i].energy ||
+        pa[i].staleness != pb[i].staleness)
+      return false;
+  }
+  if (final_model_.size() != other.final_model_.size()) return false;
+  return std::equal(final_model_.begin(), final_model_.end(), other.final_model_.begin(),
+                    [](float a, float b) {
+                      return std::memcmp(&a, &b, sizeof(float)) == 0;  // NaN/-0.0 safe
+                    });
 }
 
 namespace {

@@ -50,6 +50,11 @@ class Metrics {
 
   void write_csv(const std::string& path) const;
 
+  /// True iff every recorded point and the final model match `other`
+  /// bit-for-bit (no tolerance). This is the execution engine's determinism
+  /// contract — used by the thread-sweep bench and the determinism tests.
+  [[nodiscard]] bool bit_identical(const Metrics& other) const;
+
   /// The trained global model w_T (flat parameter vector); set by every
   /// mechanism before returning (Alg. 1 line 32 "return global model").
   [[nodiscard]] const std::vector<float>& final_model() const { return final_model_; }

@@ -26,15 +26,12 @@ Metrics TiFL::run(const FLConfig& cfg) {
         compute + driver.latency().oma_upload_seconds(driver.model_dim(), tiers_[j].size());
   }
 
-  auto train_tier = [&](std::size_t j) {
-    for (auto m : tiers_[j])
-      driver.worker(m).local_update(driver.scratch(), server.global_model(), cfg.learning_rate,
-                                    cfg.local_steps, cfg.batch_size);
-  };
-
+  // Tiers are mutually asynchronous, so each tier's local training runs as
+  // in-flight jobs on the driver's lanes; the barrier is per tier, at the
+  // moment its (virtual-time) upload event is processed.
   sim::EventQueue queue;
   for (std::size_t j = 0; j < tiers_.size(); ++j) {
-    train_tier(j);  // every tier starts from w_0 at time 0
+    driver.begin_training(tiers_[j], server.global_model());  // every tier starts from w_0
     queue.schedule(tier_time[j], /*kind=*/0, j);
   }
 
@@ -43,6 +40,7 @@ Metrics TiFL::run(const FLConfig& cfg) {
     if (ev.time > cfg.time_budget) break;
     const std::size_t j = ev.actor;
 
+    driver.finish_training(tiers_[j]);
     const auto tau = static_cast<double>(server.staleness(j));
     auto w_new = driver.oma_aggregate(tiers_[j], server.global_model());
     server.complete_round(j, std::move(w_new));
@@ -51,7 +49,9 @@ Metrics TiFL::run(const FLConfig& cfg) {
                         server.global_model());
     if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
 
-    train_tier(j);  // tier received w_t, next round starts immediately
+    // Tier received w_t; its next local round starts immediately and
+    // overlaps with the other tiers' in-flight training.
+    driver.begin_training(tiers_[j], server.global_model());
     queue.schedule(ev.time + tier_time[j], /*kind=*/0, j);
   }
   metrics.set_final_model(server.model_vector());

@@ -13,9 +13,10 @@ namespace airfedga::fl {
 /// One edge device. It owns its data shard (indices into the shared
 /// training set) and the latest *local* model w^i_t as a flat vector.
 ///
-/// A worker does not own a Model instance: all workers of a mechanism share
-/// one scratch model (weights are swapped in and out as flat vectors),
-/// which keeps memory at one model per mechanism instead of one per worker.
+/// A worker does not own a Model instance: `local_update` borrows a scratch
+/// model (weights are swapped in and out as flat vectors), leased per
+/// training lane by the Driver's execution engine, which keeps memory at
+/// one model per lane instead of one per worker.
 class Worker {
  public:
   Worker(std::size_t id, const data::Dataset& train, std::vector<std::size_t> shard,

@@ -4,7 +4,18 @@
 
 namespace airfedga::sim {
 
+void EventQueue::assert_owner() {
+#ifndef NDEBUG
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+  } else if (owner_ != std::this_thread::get_id()) {
+    throw std::logic_error("EventQueue: accessed from a second thread (single-owner contract)");
+  }
+#endif
+}
+
 std::uint64_t EventQueue::schedule(double time, int kind, std::size_t actor) {
+  assert_owner();
   if (!std::isfinite(time)) throw std::invalid_argument("EventQueue: non-finite time");
   if (time < now_) throw std::invalid_argument("EventQueue: scheduling into the past");
   const std::uint64_t seq = next_seq_++;
@@ -13,6 +24,7 @@ std::uint64_t EventQueue::schedule(double time, int kind, std::size_t actor) {
 }
 
 Event EventQueue::pop() {
+  assert_owner();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
   Event e = heap_.top();
   heap_.pop();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <queue>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace airfedga::sim {
@@ -24,6 +25,15 @@ struct Event {
 /// event and moves the clock forward; scheduling in the past is rejected so
 /// causality bugs in mechanisms surface immediately instead of silently
 /// reordering history.
+///
+/// Threading contract: the queue is deliberately NOT thread-safe. Virtual
+/// time is the simulation's single source of truth, and it stays
+/// deterministic only if one thread owns the schedule/pop sequence. The
+/// group-parallel execution engine respects this by keeping all event and
+/// aggregation processing on the simulation thread and dispatching only
+/// local-training compute to pool lanes. Debug builds assert the contract:
+/// the first thread to touch the queue becomes its owner and any access
+/// from another thread throws.
 class EventQueue {
  public:
   /// Schedules an event; returns its sequence number.
@@ -42,6 +52,8 @@ class EventQueue {
   [[nodiscard]] double peek_time() const;
 
  private:
+  void assert_owner();
+
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -51,6 +63,9 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
+#ifndef NDEBUG
+  std::thread::id owner_{};  ///< set on first mutating access
+#endif
 };
 
 }  // namespace airfedga::sim

@@ -1,14 +1,30 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <memory>
 
 namespace airfedga::util {
+
+namespace {
+// Per-thread flag shared by all pools: set while the thread is executing
+// pool work (or a SerialRegion), checked by parallel_for's nesting rule.
+thread_local bool t_in_parallel_work = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_in_parallel_work; }
+
+ThreadPool::SerialRegion::SerialRegion() : prev_(t_in_parallel_work) {
+  t_in_parallel_work = true;
+}
+
+ThreadPool::SerialRegion::~SerialRegion() { t_in_parallel_work = prev_; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this] {
+      t_in_parallel_work = true;
+      worker_loop();
+    });
   }
 }
 
@@ -35,7 +51,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::scoped_lock lock(mutex_);
     tasks_.push(std::move(task));
@@ -47,7 +63,7 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn,
                               std::size_t grain) {
   const std::size_t workers = threads_.size();
-  if (workers == 0 || n <= grain) {
+  if (workers == 0 || n <= grain || t_in_parallel_work) {
     if (n > 0) fn(0, n);
     return;
   }
@@ -68,7 +84,7 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t p = 1; p < parts; ++p) {
     const std::size_t begin = p * chunk;
     const std::size_t end = std::min(n, begin + chunk);
-    submit([latch, &fn, begin, end] {
+    enqueue([latch, &fn, begin, end] {
       fn(begin, end);
       std::scoped_lock lock(latch->mutex);
       if (--latch->remaining == 0) latch->cv.notify_one();

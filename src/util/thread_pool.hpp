@@ -3,20 +3,31 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace airfedga::util {
 
-/// A small fixed-size worker pool for data-parallel loops (OpenMP-style
-/// `parallel for` without the OpenMP dependency). Used by the ML library's
-/// GEMM and by batched evaluation.
+/// A small fixed-size worker pool with two entry points:
 ///
-/// The pool is shared process-wide via `global_pool()`; the ML kernels
-/// split their loops into one chunk per thread, which is the right shape
-/// for the flat loops used here (contiguous float arithmetic).
+///  * `parallel_for` — OpenMP-style blocking data-parallel loop, used by the
+///    ML library's GEMM and by batched evaluation;
+///  * `submit` — fire-and-forget task submission returning a `std::future`,
+///    used by the federated driver to run whole worker/group local-training
+///    jobs concurrently between aggregation barriers.
+///
+/// Nesting rule: a task already running on *any* pool's worker thread that
+/// calls `parallel_for` gets the serial fallback instead of fanning out
+/// again. This prevents the classic deadlock (every worker blocked inside a
+/// nested loop waiting for chunks no free thread can run) and the
+/// oversubscription thrash of parallelizing inside already-parallel worker
+/// training. Results are unaffected: all chunked kernels write disjoint
+/// output ranges, so chunking never changes floating-point results.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -29,13 +40,49 @@ class ThreadPool {
 
   /// Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
   /// worker (plus the calling thread). Blocks until all chunks complete.
-  /// Falls back to a serial call when n is small or the pool has 0 workers.
+  /// Falls back to a serial call when n is small, the pool has 0 workers,
+  /// or the caller is itself a pool worker thread (see nesting rule above).
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1024);
 
+  /// Schedules `f` on the pool and returns a future for its result. On a
+  /// pool with 0 workers the task runs inline on the calling thread (the
+  /// future is ready on return), so serial configurations need no special
+  /// casing at call sites. Exceptions propagate through `future::get()`.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    if (threads_.empty()) {
+      (*task)();
+    } else {
+      enqueue([task] { (*task)(); });
+    }
+    return fut;
+  }
+
+  /// True iff the calling thread is a worker thread of *some* ThreadPool.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// RAII guard that marks the current thread as "inside parallel work" so
+  /// nested `parallel_for` calls take the serial fallback. The driver wraps
+  /// inline (0-worker) training in this so a serial run executes the exact
+  /// same kernel schedule as a pooled run.
+  class SerialRegion {
+   public:
+    SerialRegion();
+    ~SerialRegion();
+    SerialRegion(const SerialRegion&) = delete;
+    SerialRegion& operator=(const SerialRegion&) = delete;
+
+   private:
+    bool prev_;
+  };
+
  private:
   void worker_loop();
-  void submit(std::function<void()> task);
+  void enqueue(std::function<void()> task);
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;

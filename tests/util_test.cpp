@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -207,6 +211,90 @@ TEST(ThreadPool, ZeroWorkItemsIsNoop) {
   bool called = false;
   pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for(
+      hits.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroWorkerPoolRunsSerially) {
+  ThreadPool pool(0);
+  std::size_t covered = 0;
+  pool.parallel_for(
+      100, [&](std::size_t b, std::size_t e) { covered += e - b; }, /*grain=*/1);
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitOnZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  auto f = pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  // Inline execution: the task already ran on the calling thread.
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  f.get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmittedTasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  auto f = pool.submit([] { return ThreadPool::on_worker_thread(); });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPool, NestedParallelForFallsBackToSerial) {
+  // A task on a pool thread that fans out again would deadlock a saturated
+  // pool; the nesting rule runs the inner loop serially instead.
+  ThreadPool pool(2);
+  auto f = pool.submit([&] {
+    const auto me = std::this_thread::get_id();
+    bool same_thread = true;
+    pool.parallel_for(
+        10000,
+        [&](std::size_t, std::size_t) { same_thread &= std::this_thread::get_id() == me; },
+        /*grain=*/1);
+    return same_thread;
+  });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPool, SerialRegionSuppressesFanOut) {
+  ThreadPool pool(3);
+  const auto me = std::this_thread::get_id();
+  bool same_thread = true;
+  {
+    ThreadPool::SerialRegion serial;
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    pool.parallel_for(
+        10000,
+        [&](std::size_t, std::size_t) { same_thread &= std::this_thread::get_id() == me; },
+        /*grain=*/1);
+  }
+  EXPECT_TRUE(same_thread);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
 }
 
 TEST(SplitMix, MixesDistinctInputs) {
