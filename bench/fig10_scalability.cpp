@@ -15,25 +15,27 @@
 // Engine mode: `--threads=<list>` (e.g. --threads=4 or --threads=1,2,4)
 // switches to the execution-engine sweep instead: it runs a fixed workload
 // at each training-lane count (a 1-lane baseline is always included),
-// reports wall-clock speedup, and verifies that the recorded metrics are
-// bit-identical across lane counts.
+// reports wall-clock speedup plus per-mechanism barrier-stall and
+// evaluation wall time (the two serial fractions the deadline scheduler
+// and sharded evaluate attack), and verifies that the recorded metrics
+// are bit-identical across lane counts.
 
 #include <chrono>
 #include <string>
 
 #include "common.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
 using namespace airfedga;
 
-double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
 /// One engine-sweep measurement: every mechanism once, at `threads` lanes.
+/// `names[i]` is `runs[i]`'s mechanism name — carried together so labels
+/// can never drift from the run list.
 struct SweepRun {
   double wall = 0.0;
+  std::vector<std::string> names;
   std::vector<fl::Metrics> runs;
 };
 
@@ -55,10 +57,13 @@ SweepRun run_workload(std::size_t threads) {
 
   SweepRun out;
   const auto t0 = std::chrono::steady_clock::now();
-  out.runs.push_back(fedavg.run(exp.cfg));
-  out.runs.push_back(tifl.run(exp.cfg));
-  out.runs.push_back(airfedga.run(exp.cfg));
-  out.wall = wall_seconds_since(t0);
+  for (fl::Mechanism* mech : {static_cast<fl::Mechanism*>(&fedavg),
+                              static_cast<fl::Mechanism*>(&tifl),
+                              static_cast<fl::Mechanism*>(&airfedga)}) {
+    out.names.push_back(mech->name());
+    out.runs.push_back(mech->run(exp.cfg));
+  }
+  out.wall = util::wall_seconds_since(t0);
   return out;
 }
 
@@ -90,10 +95,21 @@ int run_thread_sweep(const std::string& list) {
   if (!parse_thread_list(list, counts)) return 2;
 
   util::Table t({"threads", "wall(s)", "speedup vs 1", "bit-identical"});
+  // Per-(threads, mechanism) engine instrumentation: wall time the
+  // simulation thread spent blocked at training barriers and inside
+  // evaluation. Deadline scheduling shrinks the former; sharded evaluation
+  // the latter.
+  util::Table engine_t({"threads", "mechanism", "barrier-stall(s)", "eval(s)"});
   SweepRun baseline;
   bool all_identical = true;
   for (std::size_t threads : counts) {
     SweepRun r = run_workload(threads);
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+      const auto& es = r.runs[i].engine_stats();
+      engine_t.add_row({util::Table::fmt_int(static_cast<long long>(threads)),
+                        r.names[i], util::Table::fmt(es.barrier_seconds, 3),
+                        util::Table::fmt(es.eval_seconds, 3)});
+    }
     bool identical = true;
     if (threads == counts.front()) {
       baseline = std::move(r);
@@ -112,6 +128,9 @@ int run_thread_sweep(const std::string& list) {
   std::printf("=== Execution-engine sweep: FedAvg + TiFL + Air-FedGA, N=40, MLP-64 ===\n");
   t.print(std::cout);
   t.write_csv(bench::results_dir() + "/fig10_thread_sweep.csv");
+  std::printf("\n=== Engine stats: simulation-thread barrier stalls and eval wall time ===\n");
+  engine_t.print(std::cout);
+  engine_t.write_csv(bench::results_dir() + "/fig10_engine_stats.csv");
   if (!all_identical) {
     std::printf("ERROR: metrics diverged across lane counts (determinism violation)\n");
     return 1;

@@ -22,8 +22,9 @@ Metrics AirFedAvg::run(const FLConfig& cfg) {
   double energy = 0.0;
   for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
     if (now + round_time > cfg.time_budget) break;
-    // Synchronous round on the driver's training lanes (barrier at the end).
-    driver.train_workers(everyone, w);
+    // Synchronous round on the driver's training lanes (barrier at the
+    // end); the round's virtual barrier time is the cohort's deadline tag.
+    driver.train_workers(everyone, w, now + round_time);
     now += round_time;
     // All workers transmit concurrently; power control per Alg. 2.
     w = driver.aircomp_aggregate(everyone, w, t, energy);
@@ -32,6 +33,7 @@ Metrics AirFedAvg::run(const FLConfig& cfg) {
     if (driver.should_stop(metrics)) break;
   }
   metrics.set_final_model(std::move(w));
+  metrics.set_engine_stats(driver.engine_stats());
   return metrics;
 }
 

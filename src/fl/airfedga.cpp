@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -42,14 +43,23 @@ Metrics AirFedGA::run(const FLConfig& cfg) {
   ParameterServer server(driver.initial_model(), groups_.size());
   const double upload_time = gcfg.aircomp_upload_seconds;
 
+  // A group's compute phase lasts until its slowest member reports READY;
+  // starting at virtual time t, its aggregation event lands at
+  // t + group_compute[j] + L_u. That is the deadline tag handed to the lane
+  // scheduler with every training batch.
+  std::vector<double> group_compute(groups_.size(), 0.0);
+  for (std::size_t j = 0; j < groups_.size(); ++j)
+    for (auto m : groups_[j]) group_compute[j] = std::max(group_compute[j], local_times[m]);
+
   sim::EventQueue queue;
   // Round 0: every worker holds w_0, trains, and reports READY (Alg. 1
-  // lines 5-8). Training is submitted to the driver's lanes; completion
+  // lines 5-8). Training is submitted to the driver's lanes one group at a
+  // time so each batch carries its own aggregation deadline; completion
   // time is virtual, and the models are collected at the group's
   // aggregation barrier below.
-  std::vector<std::size_t> everyone(driver.num_workers());
-  for (std::size_t i = 0; i < driver.num_workers(); ++i) everyone[i] = i;
-  driver.begin_training(everyone, server.global_model());
+  for (std::size_t j = 0; j < groups_.size(); ++j)
+    driver.begin_training(groups_[j], server.global_model(),
+                          /*deadline=*/group_compute[j] + upload_time);
   for (std::size_t i = 0; i < driver.num_workers(); ++i)
     queue.schedule(local_times[i], kReady, i);
 
@@ -92,11 +102,14 @@ Metrics AirFedGA::run(const FLConfig& cfg) {
 
     // The group receives w_t and starts the next local round (Alg. 1
     // line 26 followed by lines 6-8), overlapping with every other group's
-    // in-flight training and with later aggregations of other groups.
-    driver.begin_training(groups_[j], server.global_model());
+    // in-flight training and with later aggregations of other groups. The
+    // batch is tagged with the group's next aggregation deadline.
+    driver.begin_training(groups_[j], server.global_model(),
+                          /*deadline=*/ev.time + group_compute[j] + upload_time);
     for (auto m : groups_[j]) queue.schedule(ev.time + local_times[m], kReady, m);
   }
   metrics.set_final_model(server.model_vector());
+  metrics.set_engine_stats(driver.engine_stats());
   return metrics;
 }
 

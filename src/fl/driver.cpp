@@ -1,9 +1,14 @@
 #include "fl/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <exception>
 #include <stdexcept>
 #include <thread>
+
+#include "util/stats.hpp"
 
 namespace airfedga::fl {
 
@@ -25,6 +30,23 @@ std::size_t resolve_lanes(std::size_t threads) {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 }  // namespace
+
+/// RAII scratch-model lease: acquires from the free list on construction
+/// and returns the model on every exit path, so a lease can never leak a
+/// lane's scratch model.
+class Driver::ScratchLease {
+ public:
+  explicit ScratchLease(Driver& driver) : driver_(driver), model_(driver.acquire_scratch()) {}
+  ~ScratchLease() { driver_.release_scratch(std::move(model_)); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  ml::Model& model() { return *model_; }
+
+ private:
+  Driver& driver_;
+  std::unique_ptr<ml::Model> model_;
+};
 
 Driver::Driver(const FLConfig& cfg)
     : cfg_(&cfg),
@@ -85,8 +107,9 @@ Driver::~Driver() {
 std::unique_ptr<ml::Model> Driver::acquire_scratch() {
   std::scoped_lock lock(scratch_mutex_);
   if (scratch_free_.empty()) {
-    // Unreachable when concurrency <= lanes, but a fresh model keeps the
-    // engine correct if a caller oversubscribes.
+    // Reachable when evaluation helpers overlap in-flight training (both
+    // hold leases); a fresh model keeps the engine correct at the cost of
+    // one allocation, and the free list grows to cover the overlap.
     return std::make_unique<ml::Model>(cfg_->model_factory());
   }
   auto m = std::move(scratch_free_.back());
@@ -100,7 +123,7 @@ void Driver::release_scratch(std::unique_ptr<ml::Model> m) {
 }
 
 void Driver::begin_training(const std::vector<std::size_t>& members,
-                            std::span<const float> global) {
+                            std::span<const float> global, double deadline) {
   // Snapshot the global model once: the server may install a newer version
   // while these jobs are still running (asynchronous groups), and every
   // member of the batch must train from the same w_t it was sent.
@@ -112,33 +135,35 @@ void Driver::begin_training(const std::vector<std::size_t>& members,
     Worker& w = workers_.at(m);
     if (pending_[m].valid())
       throw std::logic_error("Driver::begin_training: worker already has a job in flight");
-    pending_[m] = pool_->submit([this, &w, snapshot, lr, steps, batch] {
-      // Serial region: worker training is the unit of parallelism, so the
-      // ML kernels underneath must not fan out again (deadlock/thrash); it
-      // also makes the 1-lane inline schedule identical to a pool lane's.
-      util::ThreadPool::SerialRegion serial;
-      auto scratch = acquire_scratch();
-      try {
-        w.local_update(*scratch, *snapshot, lr, steps, batch);
-      } catch (...) {
-        release_scratch(std::move(scratch));
-        throw;
-      }
-      release_scratch(std::move(scratch));
+    // The batch's virtual aggregation deadline is the scheduling key:
+    // pending jobs start earliest-deadline-first, so lanes go to the group
+    // whose barrier the simulation will reach next.
+    pending_[m] = pool_->submit_prioritized(deadline, [this, &w, snapshot, lr, steps, batch] {
+      // On a pool lane, the worker-thread flag already pins the ML kernels
+      // underneath to their serial fallback (nesting rule: no deadlock, no
+      // oversubscription). Inline 1-lane training instead keeps the global
+      // pool's GEMM fan-out, like the seed engine — a wall-time choice
+      // only: chunked kernels write disjoint output ranges, so either
+      // schedule produces the same bits.
+      ScratchLease lease(*this);
+      w.local_update(lease.model(), *snapshot, lr, steps, batch);
     });
   }
 }
 
 void Driver::finish_training(const std::vector<std::size_t>& members) {
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto m : members) {
     auto& f = pending_.at(m);
     if (f.valid()) f.get();
   }
+  engine_stats_.barrier_seconds += util::wall_seconds_since(t0);
+  ++engine_stats_.barriers;
 }
 
 void Driver::train_workers(const std::vector<std::size_t>& members,
-                           std::span<const float> global) {
-  begin_training(members, global);
+                           std::span<const float> global, double deadline) {
+  begin_training(members, global, deadline);
   finish_training(members);
 }
 
@@ -150,8 +175,118 @@ std::vector<float> Driver::initial_model() {
 }
 
 ml::EvalResult Driver::evaluate(std::span<const float> model) {
-  scratch_.set_parameters(model);
-  return scratch_.evaluate(eval_xs_, eval_ys_, cfg_->eval_batch);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = eval_ys_.size();
+  const std::size_t batch = std::max<std::size_t>(1, cfg_->eval_batch);
+  const std::size_t n_batches = (n + batch - 1) / batch;
+
+  ml::EvalResult result;
+  if (lanes_ <= 1 || n_batches <= 1) {
+    scratch_.set_parameters(model);
+    result = scratch_.evaluate(eval_xs_, eval_ys_, batch);
+  } else {
+    result = evaluate_sharded(model, n, n_batches);
+  }
+  engine_stats_.eval_seconds += util::wall_seconds_since(t0);
+  ++engine_stats_.evals;
+  return result;
+}
+
+ml::EvalResult Driver::evaluate_sharded(std::span<const float> model, std::size_t n,
+                                        std::size_t n_batches) {
+  const std::size_t batch = std::max<std::size_t>(1, cfg_->eval_batch);
+
+  // Shard boundaries are the serial loop's batch boundaries — fixed by
+  // eval_batch alone, never by the lane count — and each shard's forward
+  // pass is bit-deterministic whatever thread or model instance runs it
+  // (same parameters, kernels whose chunking cannot change results). The
+  // per-shard sums land in per-shard slots and are reduced below in shard
+  // order, so this path reproduces the serial evaluate bit-for-bit.
+  //
+  // The state lives in a shared_ptr because helper tasks are fire-and-
+  // forget: the simulation thread waits only until every *claimed* shard
+  // completed, never for helpers still queued behind running training
+  // jobs. A helper that only gets a lane after the shard list is drained
+  // finds nothing to claim and exits; it may outlive this call, touching
+  // only the shared state (and the scratch lease, which ~Driver's pool
+  // join covers).
+  struct Shared {
+    std::vector<float> params;       ///< parameter snapshot for late helpers
+    std::vector<ml::EvalSums> sums;  ///< one slot per shard
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t completed = 0;       ///< shards finished (guarded by mutex)
+    std::exception_ptr error;        ///< first failure (guarded by mutex)
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->params.assign(model.begin(), model.end());
+  shared->sums.resize(n_batches);
+
+  auto run_shards = [this, shared, n, batch, n_batches](ml::Model& m) {
+    // Parameters load lazily on the first claimed shard, so a helper that
+    // arrives after the list drained pays nothing.
+    bool loaded = false;
+    for (std::size_t b = shared->next.fetch_add(1); b < n_batches;
+         b = shared->next.fetch_add(1)) {
+      if (!loaded) {
+        m.set_parameters(shared->params);
+        loaded = true;
+      }
+      const std::size_t begin = b * batch;
+      shared->sums[b] = m.evaluate_range(eval_xs_, eval_ys_, begin, std::min(n, begin + batch));
+      std::scoped_lock lock(shared->mutex);
+      if (++shared->completed == n_batches) shared->cv.notify_one();
+    }
+  };
+  auto record_error = [shared, n_batches] {
+    shared->next.store(n_batches);  // stop further claims
+    std::scoped_lock lock(shared->mutex);
+    if (!shared->error) shared->error = std::current_exception();
+    shared->cv.notify_one();
+  };
+
+  // Helpers go in at kUrgent: the simulation thread is blocked on this
+  // evaluation, so shards must jump ahead of queued training jobs (running
+  // jobs are not preempted — but the simulation thread shares the shard
+  // work below, so evaluation progresses even with every lane busy).
+  for (std::size_t i = 1; i < std::min(lanes_, n_batches); ++i) {
+    pool_->submit_prioritized(util::ThreadPool::kUrgent, [this, shared, run_shards,
+                                                          record_error, n_batches] {
+      // A helper that only got a lane after the shard list drained must
+      // not lease a scratch model (possibly allocating one: training may
+      // hold every lease) just to find nothing to do.
+      if (shared->next.load(std::memory_order_relaxed) >= n_batches) return;
+      try {
+        ScratchLease lease(*this);
+        run_shards(lease.model());
+      } catch (...) {
+        record_error();
+      }
+    });
+  }
+
+  try {
+    run_shards(scratch_);  // the eval scratch is simulation-thread-only
+  } catch (...) {
+    record_error();
+  }
+  {
+    std::unique_lock lock(shared->mutex);
+    // Every shard index is claimed exactly once (atomic fetch_add), and a
+    // claimed shard either completes or records an error, so this wait
+    // always terminates.
+    shared->cv.wait(lock, [&] { return shared->error || shared->completed == n_batches; });
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
+
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  for (const auto& s : shared->sums) {  // fixed shard order: the serial reduction
+    loss_sum += s.loss_sum;
+    acc_sum += s.acc_sum;
+  }
+  return {loss_sum / static_cast<double>(n), acc_sum / static_cast<double>(n)};
 }
 
 core::PowerControlResult Driver::power_for_group(const std::vector<std::size_t>& members,

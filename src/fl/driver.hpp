@@ -20,6 +20,13 @@
 #include "sim/cluster.hpp"
 #include "util/thread_pool.hpp"
 
+/// \namespace airfedga
+/// Root namespace of the Air-FedGA reproduction library.
+
+/// \namespace airfedga::fl
+/// Federated-learning layer: the execution-engine driver, workers, the
+/// parameter server, run metrics, and the paper's mechanisms (Table I).
+
 namespace airfedga::fl {
 
 /// Everything a federated training run needs (paper §VI-A system setup).
@@ -27,31 +34,31 @@ namespace airfedga::fl {
 /// in the mechanism itself.
 struct FLConfig {
   // Problem
-  const data::Dataset* train = nullptr;
-  const data::Dataset* test = nullptr;
-  data::Partition partition;        ///< per-worker sample indices
-  ml::ModelFactory model_factory;
+  const data::Dataset* train = nullptr;  ///< shared training set (not owned)
+  const data::Dataset* test = nullptr;   ///< held-out evaluation set (not owned)
+  data::Partition partition;             ///< per-worker sample indices
+  ml::ModelFactory model_factory;        ///< builds the (shared) architecture
 
   // Local training (Eq. 4)
-  float learning_rate = 0.05f;
-  std::size_t local_steps = 1;
+  float learning_rate = 0.05f;      ///< SGD step size
+  std::size_t local_steps = 1;      ///< SGD steps per local round
   std::size_t batch_size = 32;      ///< 0 = full local shard (paper's setting)
 
   // Heterogeneity and wireless substrate (§VI-A2)
-  sim::ClusterModel::Config cluster;
-  channel::LatencyConfig latency;
-  channel::FadingChannel::Config fading;
-  channel::AirCompChannel::Config aircomp;
-  double energy_cap = 10.0;         ///< \hat{E}_i per worker per round (J)
+  sim::ClusterModel::Config cluster;       ///< compute heterogeneity (kappa draw)
+  channel::LatencyConfig latency;          ///< OMA/AirComp upload latency model
+  channel::FadingChannel::Config fading;   ///< Rayleigh block-fading parameters
+  channel::AirCompChannel::Config aircomp; ///< over-the-air aggregation parameters
+  double energy_cap = 10.0;         ///< \f$\hat{E}_i\f$ per worker per round (J)
 
   // Run control
   double time_budget = 5000.0;      ///< virtual seconds
-  std::size_t max_rounds = 1000000;
+  std::size_t max_rounds = 1000000; ///< global aggregation cap
   std::size_t eval_every = 10;      ///< evaluate every k global rounds
   std::size_t eval_samples = 1000;  ///< test subset size used for curves
-  std::size_t eval_batch = 256;
+  std::size_t eval_batch = 256;     ///< evaluation mini-batch (and eval shard) size
   double stop_at_accuracy = -1.0;   ///< early stop once smoothed acc >= this
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42;          ///< root seed for every RNG stream of the run
 
   /// Concurrent local-training lanes for the execution engine: 0 = one lane
   /// per hardware thread, 1 = serial (the seed behaviour), k = exactly k
@@ -60,6 +67,7 @@ struct FLConfig {
   /// reductions run in fixed member order on the simulation thread.
   std::size_t threads = 0;
 
+  /// Throws std::invalid_argument on an unusable configuration.
   void validate() const;
 };
 
@@ -73,48 +81,105 @@ struct FLConfig {
 /// split into `begin_training` / `finish_training` so independent groups
 /// overlap local training between aggregations (Air-FedGA, TiFL, FedAsync).
 /// The simulation (event queue, parameter server, aggregation, metrics)
-/// stays on the calling thread; only `Worker::local_update` runs on lanes.
+/// stays on the calling thread; only `Worker::local_update` and evaluation
+/// shards run on lanes.
+///
+/// Deadline-aware lane scheduling: each training batch carries the virtual
+/// time of its group's next aggregation event. Pending jobs start in
+/// ascending deadline order (earliest aggregation first), so when there are
+/// more runnable groups than lanes, the lanes go to the group whose barrier
+/// the simulation thread will hit next — shrinking barrier stalls instead
+/// of handing lanes out FIFO. Scheduling order never changes results (see
+/// FLConfig::threads).
 class Driver {
  public:
+  /// Validates `cfg` and builds the run state: workers with forked RNG
+  /// streams, per-lane scratch models, channel instances, the evaluation
+  /// subset, and the training-lane pool.
   explicit Driver(const FLConfig& cfg);
+
+  /// Collects any jobs a mechanism left in flight (early stop), then joins
+  /// the lane pool so no task outlives the state it references.
   ~Driver();
 
+  /// The configuration this run was built from.
   [[nodiscard]] const FLConfig& config() const { return *cfg_; }
+
+  /// Number of federated workers (= partition size).
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+  /// Flat parameter count of the model architecture.
   [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
 
   /// Resolved lane count (cfg.threads with 0 mapped to the hardware).
   [[nodiscard]] std::size_t training_lanes() const { return lanes_; }
 
+  /// All workers of the run (simulation-thread access only).
   std::vector<Worker>& workers() { return workers_; }
+
+  /// Worker `i` (bounds-checked; simulation-thread access only).
   Worker& worker(std::size_t i) { return workers_.at(i); }
+
+  /// The evaluation scratch model (simulation-thread access only).
   ml::Model& scratch() { return scratch_; }
+
+  /// The over-the-air aggregation channel of this run.
   channel::AirCompChannel& aircomp() { return aircomp_; }
 
+  /// Label-distribution statistics of the partition (EMD inputs).
   [[nodiscard]] const data::DataStats& stats() const { return stats_; }
+
+  /// Per-worker compute-heterogeneity model (local training times).
   [[nodiscard]] const sim::ClusterModel& cluster() const { return cluster_; }
+
+  /// Per-worker, per-round Rayleigh fading gains.
   [[nodiscard]] const channel::FadingChannel& fading() const { return fading_; }
+
+  /// OMA/AirComp upload latency model.
   [[nodiscard]] const channel::LatencyModel& latency() const { return latency_; }
+
+  /// Deadline value for untagged batches: they run after every tagged one.
+  static constexpr double kNoDeadline = util::ThreadPool::kNoDeadline;
 
   /// Starts local training (Eq. 4) for every worker in `members` from a
   /// snapshot of `global`, one pool task per worker. Returns immediately;
   /// the models become visible only after `finish_training`. A worker may
   /// not be enqueued again before its previous job was collected.
-  void begin_training(const std::vector<std::size_t>& members, std::span<const float> global);
+  ///
+  /// `deadline` is the virtual time of the batch's next aggregation event
+  /// (sync mechanisms: the round barrier; async mechanisms: the group's
+  /// upload-complete event). Pending jobs start earliest-deadline-first;
+  /// kNoDeadline restores FIFO order among untagged batches.
+  void begin_training(const std::vector<std::size_t>& members, std::span<const float> global,
+                      double deadline = kNoDeadline);
 
   /// Blocks until every in-flight job for `members` completed, collecting
   /// futures in member order (fixed-order barrier). Rethrows task errors.
+  /// Wall time spent blocked here is accumulated into engine_stats().
   void finish_training(const std::vector<std::size_t>& members);
 
   /// Barrier convenience: begin + finish (synchronous-round mechanisms).
-  void train_workers(const std::vector<std::size_t>& members, std::span<const float> global);
+  void train_workers(const std::vector<std::size_t>& members, std::span<const float> global,
+                     double deadline = kNoDeadline);
 
   /// Deterministic initial global model (same seed => same start for every
   /// mechanism, so curves are comparable).
   [[nodiscard]] std::vector<float> initial_model();
 
   /// Test loss/accuracy of a flat parameter vector on the eval subset.
+  ///
+  /// With more than one lane and more than one eval batch, the batches are
+  /// sharded across lanes (the simulation thread itself works through the
+  /// shard list, so progress never waits on lanes busy with training) and
+  /// the per-batch partial sums are reduced in fixed batch order. Shard
+  /// boundaries are the serial loop's batch boundaries and never depend on
+  /// the lane count, so the result is bit-identical to the serial path for
+  /// every FLConfig::threads.
   ml::EvalResult evaluate(std::span<const float> model);
+
+  /// Wall-clock engine instrumentation accumulated so far (barrier stalls,
+  /// evaluation time). Mechanisms copy this into their Metrics on return.
+  [[nodiscard]] const EngineStats& engine_stats() const { return engine_stats_; }
 
   /// Per-round power control (Alg. 2) for a group about to aggregate:
   /// gathers this round's gains and member model-norm bound W_t, and
@@ -142,8 +207,12 @@ class Driver {
                     double staleness, std::span<const float> model);
 
  private:
+  class ScratchLease;
+
   std::unique_ptr<ml::Model> acquire_scratch();
   void release_scratch(std::unique_ptr<ml::Model> m);
+  ml::EvalResult evaluate_sharded(std::span<const float> model, std::size_t n,
+                                  std::size_t n_batches);
 
   const FLConfig* cfg_;
   std::vector<Worker> workers_;
@@ -163,6 +232,7 @@ class Driver {
   std::mutex scratch_mutex_;
   std::vector<std::unique_ptr<ml::Model>> scratch_free_;
   std::vector<std::future<void>> pending_;
+  EngineStats engine_stats_;
   // Destroyed first (declared last): joining the pool drains outstanding
   // tasks before any state they reference goes away.
   std::unique_ptr<util::ThreadPool> pool_;
@@ -171,8 +241,13 @@ class Driver {
 /// Interface shared by the five mechanisms (Table I of the paper).
 class Mechanism {
  public:
-  virtual ~Mechanism() = default;
+  virtual ~Mechanism() = default;  ///< virtual: mechanisms are held by base pointer
+
+  /// Display name used in tables, curves, and CSV stems.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Executes one full federated training run under `cfg` and returns its
+  /// recorded metric series (with engine stats attached).
   virtual Metrics run(const FLConfig& cfg) = 0;
 };
 

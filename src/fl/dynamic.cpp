@@ -36,8 +36,9 @@ Metrics DynamicAirComp::run(const FLConfig& cfg) {
     const double round_time = compute_time + upload_time;
     if (now + round_time > cfg.time_budget) break;
 
-    // Admitted subset trains concurrently on the driver's lanes (barrier).
-    driver.train_workers(selected, w);
+    // Admitted subset trains concurrently on the driver's lanes (barrier);
+    // the round's virtual barrier time is the subset's deadline tag.
+    driver.train_workers(selected, w, now + round_time);
     now += round_time;
     w = driver.aircomp_aggregate(selected, w, t, energy);
 
@@ -45,6 +46,7 @@ Metrics DynamicAirComp::run(const FLConfig& cfg) {
     if (driver.should_stop(metrics)) break;
   }
   metrics.set_final_model(std::move(w));
+  metrics.set_engine_stats(driver.engine_stats());
   return metrics;
 }
 

@@ -26,7 +26,10 @@ Metrics FedAsync::run(const FLConfig& cfg) {
   // upload event is processed.
   sim::EventQueue queue;
   for (std::size_t i = 0; i < driver.num_workers(); ++i) {
-    driver.begin_training({i}, server.global_model());
+    // Each worker's upload-complete event is its deadline tag: fast
+    // workers' jobs get lanes first, matching virtual-time urgency.
+    driver.begin_training({i}, server.global_model(),
+                          /*deadline=*/local_times[i] + upload_time);
     queue.schedule(local_times[i] + upload_time, /*kind=*/0, i);
   }
 
@@ -49,10 +52,12 @@ Metrics FedAsync::run(const FLConfig& cfg) {
                         server.global_model());
     if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
 
-    driver.begin_training({i}, server.global_model());
+    driver.begin_training({i}, server.global_model(),
+                          /*deadline=*/ev.time + local_times[i] + upload_time);
     queue.schedule(ev.time + local_times[i] + upload_time, /*kind=*/0, i);
   }
   metrics.set_final_model(server.model_vector());
+  metrics.set_engine_stats(driver.engine_stats());
   return metrics;
 }
 

@@ -23,8 +23,9 @@ Metrics FedAvg::run(const FLConfig& cfg) {
   for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
     if (now + round_time > cfg.time_budget) break;
     // Synchronous round: every worker trains from w_{t-1} (Eq. 4), spread
-    // across the driver's training lanes up to the round barrier...
-    driver.train_workers(everyone, w);
+    // across the driver's training lanes up to the round barrier. The
+    // round's (virtual) barrier time is the whole cohort's deadline tag.
+    driver.train_workers(everyone, w, now + round_time);
     now += round_time;
     // ... and the PS forms the exact weighted average (OMA is reliable).
     w = driver.oma_aggregate(everyone, w);
@@ -33,6 +34,7 @@ Metrics FedAvg::run(const FLConfig& cfg) {
     if (driver.should_stop(metrics)) break;
   }
   metrics.set_final_model(std::move(w));
+  metrics.set_engine_stats(driver.engine_stats());
   return metrics;
 }
 

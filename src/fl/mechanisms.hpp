@@ -32,6 +32,8 @@ class AirFedAvg : public Mechanism {
 /// jitter under label skew (§VI-B1).
 class DynamicAirComp : public Mechanism {
  public:
+  /// `selection_quantile` is the per-round gain cutoff: workers whose
+  /// channel gain clears it participate in the round.
   explicit DynamicAirComp(double selection_quantile = 0.5)
       : selection_quantile_(selection_quantile) {}
   [[nodiscard]] std::string name() const override { return "Dynamic"; }
@@ -46,6 +48,7 @@ class DynamicAirComp : public Mechanism {
 /// within a tier are serialized OMA transfers.
 class TiFL : public Mechanism {
  public:
+  /// `num_tiers` response-time tiers (clamped to the worker count).
   explicit TiFL(std::size_t num_tiers = 5) : num_tiers_(num_tiers) {}
   [[nodiscard]] std::string name() const override { return "TiFL"; }
   Metrics run(const FLConfig& cfg) override;
@@ -67,6 +70,8 @@ class TiFL : public Mechanism {
 /// per upload) and maximal staleness exposure.
 class FedAsync : public Mechanism {
  public:
+  /// `mixing` is the base mixing weight alpha, `damping` the staleness
+  /// exponent of alpha_tau = mixing / (1 + tau)^damping.
   explicit FedAsync(double mixing = 0.6, double damping = 0.5)
       : mixing_(mixing), damping_(damping) {}
   [[nodiscard]] std::string name() const override { return "FedAsync"; }
@@ -83,8 +88,9 @@ class FedAsync : public Mechanism {
 /// with staleness tracked by the parameter server.
 class AirFedGA : public Mechanism {
  public:
+  /// Tuning knobs of a run; defaults reproduce the paper's Alg. 1.
   struct Options {
-    core::GroupingConfig grouping;
+    core::GroupingConfig grouping;  ///< Alg. 3 grouping parameters
     /// Bypass Alg. 3 with a fixed grouping (ablations, Fig. 8 sweeps).
     std::optional<data::WorkerGroups> groups_override;
     /// Extension (off by default): damp a group's update by
@@ -96,7 +102,8 @@ class AirFedGA : public Mechanism {
     bool auto_calibrate_model_bound = true;
   };
 
-  AirFedGA() = default;
+  AirFedGA() = default;  ///< paper defaults (Alg. 1 with Alg. 3 grouping)
+  /// Runs with explicit options (ablations, Fig. 8 sweeps).
   explicit AirFedGA(Options opts) : opts_(std::move(opts)) {}
 
   [[nodiscard]] std::string name() const override { return "Air-FedGA"; }

@@ -19,13 +19,17 @@ bool Metrics::bit_identical(const Metrics& other) const {
   const auto& pa = points_;
   const auto& pb = other.points_;
   if (pa.size() != pb.size()) return false;
+  // Bitwise comparison is deliberate: determinism means the same bits, not
+  // the same values up to a tolerance — and not `==` either, which would
+  // flag identical NaN losses as divergent and accept -0.0 vs 0.0. memcmp
+  // over the whole struct would compare padding, so go field by field.
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
   for (std::size_t i = 0; i < pa.size(); ++i) {
-    // Exact comparison is deliberate: determinism means the same bits, not
-    // the same values up to a tolerance. memcmp over the structs would also
-    // compare padding, so compare field by field.
-    if (pa[i].time != pb[i].time || pa[i].round != pb[i].round || pa[i].loss != pb[i].loss ||
-        pa[i].accuracy != pb[i].accuracy || pa[i].energy != pb[i].energy ||
-        pa[i].staleness != pb[i].staleness)
+    if (!same_bits(pa[i].time, pb[i].time) || pa[i].round != pb[i].round ||
+        !same_bits(pa[i].loss, pb[i].loss) || !same_bits(pa[i].accuracy, pb[i].accuracy) ||
+        !same_bits(pa[i].energy, pb[i].energy) || !same_bits(pa[i].staleness, pb[i].staleness))
       return false;
   }
   if (final_model_.size() != other.final_model_.size()) return false;

@@ -17,6 +17,17 @@ struct MetricPoint {
   double staleness = 0.0;   ///< tau_t of the round that produced this model
 };
 
+/// Wall-clock instrumentation of the execution engine for one mechanism
+/// run, filled in by the Driver. These are *real* seconds (not virtual
+/// simulation time) and therefore vary run to run; `Metrics::bit_identical`
+/// deliberately ignores them — only simulated results must be reproducible.
+struct EngineStats {
+  double barrier_seconds = 0.0;  ///< wall time the simulation thread spent blocked in training barriers
+  double eval_seconds = 0.0;     ///< wall time spent inside Driver::evaluate
+  std::size_t barriers = 0;      ///< number of finish_training barriers
+  std::size_t evals = 0;         ///< number of evaluate calls
+};
+
 /// Time series recorded by every mechanism run; provides the queries the
 /// paper's evaluation section needs (time/energy to reach an accuracy,
 /// final metrics, average round duration).
@@ -60,9 +71,15 @@ class Metrics {
   [[nodiscard]] const std::vector<float>& final_model() const { return final_model_; }
   void set_final_model(std::vector<float> model) { final_model_ = std::move(model); }
 
+  /// Execution-engine wall-clock stats of the run that produced this
+  /// series (excluded from `bit_identical`; see EngineStats).
+  [[nodiscard]] const EngineStats& engine_stats() const { return engine_stats_; }
+  void set_engine_stats(const EngineStats& stats) { engine_stats_ = stats; }
+
  private:
   std::vector<MetricPoint> points_;
   std::vector<float> final_model_;
+  EngineStats engine_stats_;
 };
 
 }  // namespace airfedga::fl

@@ -31,7 +31,9 @@ Metrics TiFL::run(const FLConfig& cfg) {
   // moment its (virtual-time) upload event is processed.
   sim::EventQueue queue;
   for (std::size_t j = 0; j < tiers_.size(); ++j) {
-    driver.begin_training(tiers_[j], server.global_model());  // every tier starts from w_0
+    // Every tier starts from w_0; its aggregation event time is the
+    // deadline tag, so fast tiers' workers get lanes first.
+    driver.begin_training(tiers_[j], server.global_model(), /*deadline=*/tier_time[j]);
     queue.schedule(tier_time[j], /*kind=*/0, j);
   }
 
@@ -50,11 +52,14 @@ Metrics TiFL::run(const FLConfig& cfg) {
     if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
 
     // Tier received w_t; its next local round starts immediately and
-    // overlaps with the other tiers' in-flight training.
-    driver.begin_training(tiers_[j], server.global_model());
+    // overlaps with the other tiers' in-flight training. Its upcoming
+    // aggregation event is the batch's deadline tag.
+    driver.begin_training(tiers_[j], server.global_model(),
+                          /*deadline=*/ev.time + tier_time[j]);
     queue.schedule(ev.time + tier_time[j], /*kind=*/0, j);
   }
   metrics.set_final_model(server.model_vector());
+  metrics.set_engine_stats(driver.engine_stats());
   return metrics;
 }
 

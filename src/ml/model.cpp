@@ -94,18 +94,28 @@ EvalResult Model::evaluate(const Tensor& xs, std::span<const int> ys, std::size_
   if (n == 0) return {};
   double loss_sum = 0.0;
   double acc_sum = 0.0;
-  std::vector<std::size_t> idx(batch_size);
   for (std::size_t start = 0; start < n; start += batch_size) {
     const std::size_t end = std::min(n, start + batch_size);
-    idx.resize(end - start);
-    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
-    Tensor xb = gather_rows(xs, idx);
-    Tensor logits = forward(xb);
-    std::span<const int> yb(ys.data() + start, end - start);
-    loss_sum += loss_.forward(logits, yb) * static_cast<double>(end - start);
-    acc_sum += accuracy(logits, yb) * static_cast<double>(end - start);
+    const EvalSums sums = evaluate_range(xs, ys, start, end);
+    loss_sum += sums.loss_sum;
+    acc_sum += sums.acc_sum;
   }
   return {loss_sum / static_cast<double>(n), acc_sum / static_cast<double>(n)};
+}
+
+EvalSums Model::evaluate_range(const Tensor& xs, std::span<const int> ys, std::size_t begin,
+                               std::size_t end) {
+  const std::size_t n = xs.dim(0);
+  if (ys.size() != n) throw std::invalid_argument("Model::evaluate_range: label count mismatch");
+  if (begin > end || end > n) throw std::invalid_argument("Model::evaluate_range: bad range");
+  if (begin == end) return {};
+  std::vector<std::size_t> idx(end - begin);
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = begin + i;
+  Tensor xb = gather_rows(xs, idx);
+  Tensor logits = forward(xb);
+  std::span<const int> yb(ys.data() + begin, end - begin);
+  const auto count = static_cast<double>(end - begin);
+  return {loss_.forward(logits, yb) * count, accuracy(logits, yb) * count};
 }
 
 namespace {

@@ -17,6 +17,15 @@ struct EvalResult {
   double accuracy = 0.0;
 };
 
+/// Unnormalized partial evaluation sums over a row range: loss and correct
+/// predictions, each already weighted by the number of rows. Partial sums
+/// from disjoint ranges are combined by plain addition in range order, so
+/// a sharded evaluation reproduces the serial batch loop bit-for-bit.
+struct EvalSums {
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+};
+
 /// Sequential model with a softmax cross-entropy head.
 ///
 /// The federated mechanisms treat a model as an opaque flat parameter
@@ -59,6 +68,14 @@ class Model {
 
   /// Mean loss/accuracy over the full (xs, ys), processed in mini-batches.
   EvalResult evaluate(const Tensor& xs, std::span<const int> ys, std::size_t batch_size = 256);
+
+  /// One evaluation shard: unnormalized loss/accuracy sums over rows
+  /// [begin, end) of (xs, ys), computed as a single forward pass. This is
+  /// the batch body of `evaluate`, exposed so the driver can spread shards
+  /// across training lanes and reduce the sums in fixed shard order with
+  /// results identical to the serial loop.
+  EvalSums evaluate_range(const Tensor& xs, std::span<const int> ys, std::size_t begin,
+                          std::size_t end);
 
   [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }

@@ -6,9 +6,11 @@ namespace airfedga::sim {
 
 void EventQueue::assert_owner() {
 #ifndef NDEBUG
-  if (owner_ == std::thread::id{}) {
-    owner_ = std::this_thread::get_id();
-  } else if (owner_ != std::this_thread::get_id()) {
+  // compare_exchange claims ownership exactly once even if two threads
+  // race the first access; the loser sees the winner's id and throws.
+  std::thread::id expected{};
+  const std::thread::id me = std::this_thread::get_id();
+  if (!owner_.compare_exchange_strong(expected, me) && expected != me) {
     throw std::logic_error("EventQueue: accessed from a second thread (single-owner contract)");
   }
 #endif
@@ -32,9 +34,11 @@ Event EventQueue::pop() {
   return e;
 }
 
-double EventQueue::peek_time() const {
-  if (heap_.empty()) throw std::logic_error("EventQueue::peek_time: empty queue");
-  return heap_.top().time;
+const Event& EventQueue::peek() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::peek: empty queue");
+  return heap_.top();
 }
+
+double EventQueue::peek_time() const { return peek().time; }
 
 }  // namespace airfedga::sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <queue>
@@ -7,16 +8,20 @@
 #include <thread>
 #include <vector>
 
+/// \namespace airfedga::sim
+/// Discrete-event simulation layer: the virtual-time event queue and the
+/// compute-heterogeneity cluster model.
+
 namespace airfedga::sim {
 
 /// One scheduled occurrence in virtual time. `kind`/`actor` are interpreted
 /// by the mechanism that scheduled the event (e.g. actor = worker id for a
 /// READY event in Alg. 1).
 struct Event {
-  double time = 0.0;
+  double time = 0.0;      ///< virtual time at which the event fires
   std::uint64_t seq = 0;  ///< insertion order; breaks time ties deterministically
-  int kind = 0;
-  std::size_t actor = 0;
+  int kind = 0;           ///< mechanism-defined event type
+  std::size_t actor = 0;  ///< mechanism-defined subject (worker/group/tier id)
 };
 
 /// Min-heap of events ordered by (time, seq).
@@ -42,13 +47,21 @@ class EventQueue {
   /// Pops the earliest event and advances the clock to its time.
   Event pop();
 
+  /// True when no events are pending.
   [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Current virtual time (time of the last popped event; 0 initially).
   [[nodiscard]] double now() const { return now_; }
 
-  /// Time of the earliest pending event.
+  /// Earliest pending event without popping it or advancing the clock
+  /// (lookahead counterpart of peek_time for callers that need the full
+  /// event, e.g. a future shared scheduling loop). Throws when empty.
+  [[nodiscard]] const Event& peek() const;
+
+  /// Time of the earliest pending event. Throws when empty.
   [[nodiscard]] double peek_time() const;
 
  private:
@@ -64,7 +77,10 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
 #ifndef NDEBUG
-  std::thread::id owner_{};  ///< set on first mutating access
+  // Atomic so the guard itself is race-free: two threads racing the first
+  // access must not both claim ownership (and an unsynchronized check
+  // could miss exactly the violation it exists to detect).
+  std::atomic<std::thread::id> owner_{};  ///< set on first mutating access
 #endif
 };
 

@@ -1,10 +1,18 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 namespace airfedga::util {
+
+/// Wall-clock seconds elapsed since `t0` (shared by the engine's
+/// instrumentation and the benches, so both always measure with the same
+/// clock).
+inline double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 class RunningStat {

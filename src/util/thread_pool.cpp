@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 namespace airfedga::util {
 
@@ -8,6 +10,17 @@ namespace {
 // Per-thread flag shared by all pools: set while the thread is executing
 // pool work (or a SerialRegion), checked by parallel_for's nesting rule.
 thread_local bool t_in_parallel_work = false;
+
+// Min-heap comparator: std::*_heap keep the *greatest* element on top, so
+// "greater" here means "runs later" — larger key, then larger seq. The
+// `auto` parameters let it order ThreadPool::PendingTask without naming
+// the private nested type.
+struct RunsLater {
+  bool operator()(const auto& a, const auto& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.seq > b.seq;
+  }
+};
 }  // namespace
 
 bool ThreadPool::on_worker_thread() { return t_in_parallel_work; }
@@ -37,24 +50,32 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+ThreadPool::PendingTask ThreadPool::pop_task_locked() {
+  std::pop_heap(tasks_.begin(), tasks_.end(), RunsLater{});
+  PendingTask task = std::move(tasks_.back());
+  tasks_.pop_back();
+  return task;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      task = pop_task_locked();
     }
-    task();
+    task.fn();
   }
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
+void ThreadPool::enqueue(double key, std::function<void()> task) {
+  if (std::isnan(key)) throw std::invalid_argument("ThreadPool: NaN scheduling key");
   {
     std::scoped_lock lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push_back(PendingTask{key, next_seq_++, std::move(task)});
+    std::push_heap(tasks_.begin(), tasks_.end(), RunsLater{});
   }
   cv_.notify_one();
 }
@@ -84,7 +105,9 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t p = 1; p < parts; ++p) {
     const std::size_t begin = p * chunk;
     const std::size_t end = std::min(n, begin + chunk);
-    enqueue([latch, &fn, begin, end] {
+    // kUrgent: the caller blocks until every chunk ran, so chunks must not
+    // queue behind pending long-running submitted jobs.
+    enqueue(kUrgent, [latch, &fn, begin, end] {
       fn(begin, end);
       std::scoped_lock lock(latch->mutex);
       if (--latch->remaining == 0) latch->cv.notify_one();

@@ -1,25 +1,42 @@
 #pragma once
 
+#include <cmath>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <limits>
 #include <memory>
 #include <mutex>
-#include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+/// \namespace airfedga::util
+/// Concurrency and utility substrate: the training-lane thread pool,
+/// forkable RNG streams, statistics helpers, and table output.
+
 namespace airfedga::util {
 
-/// A small fixed-size worker pool with two entry points:
+/// \brief A small fixed-size worker pool with three entry points.
 ///
 ///  * `parallel_for` — OpenMP-style blocking data-parallel loop, used by the
 ///    ML library's GEMM and by batched evaluation;
 ///  * `submit` — fire-and-forget task submission returning a `std::future`,
 ///    used by the federated driver to run whole worker/group local-training
-///    jobs concurrently between aggregation barriers.
+///    jobs concurrently between aggregation barriers;
+///  * `submit_prioritized` — like `submit`, but tagged with a scheduling
+///    key: pending tasks run in ascending key order (FIFO among equal
+///    keys). The driver uses a group's next *virtual-time* aggregation
+///    deadline as the key, so earliest-deadline groups get lanes first and
+///    barrier stalls shrink (deadline-aware lane scheduling).
+///
+/// Scheduling changes only the *order* in which pending tasks start, never
+/// their results: every task is self-contained (per-worker RNG streams,
+/// leased scratch models) and all reductions happen in fixed order on the
+/// submitting thread, so prioritization preserves bit-determinism.
 ///
 /// Nesting rule: a task already running on *any* pool's worker thread that
 /// calls `parallel_for` gets the serial fallback instead of fanning out
@@ -30,62 +47,102 @@ namespace airfedga::util {
 /// output ranges, so chunking never changes floating-point results.
 class ThreadPool {
  public:
+  /// Creates a pool with `num_threads` workers; 0 workers means every
+  /// submitted task runs inline on the calling thread.
   explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains remaining tasks and joins all workers.
   ~ThreadPool();
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(const ThreadPool&) = delete;             ///< non-copyable (owns threads)
+  ThreadPool& operator=(const ThreadPool&) = delete;  ///< non-copyable (owns threads)
 
+  /// Number of worker threads (0 for an inline pool).
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Scheduling key for tasks with no deadline: they run after every
+  /// deadline-tagged task already waiting in the queue.
+  static constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+  /// Scheduling key for latency-critical tasks (e.g. evaluation shards the
+  /// simulation thread is blocked on): they jump ahead of every pending
+  /// training job. Running tasks are never preempted.
+  static constexpr double kUrgent = -std::numeric_limits<double>::infinity();
 
   /// Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
   /// worker (plus the calling thread). Blocks until all chunks complete.
   /// Falls back to a serial call when n is small, the pool has 0 workers,
   /// or the caller is itself a pool worker thread (see nesting rule above).
+  /// Chunks are enqueued at `kUrgent` priority: the caller is blocked, so
+  /// they must not queue behind long-running submitted jobs.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1024);
 
-  /// Schedules `f` on the pool and returns a future for its result. On a
-  /// pool with 0 workers the task runs inline on the calling thread (the
-  /// future is ready on return), so serial configurations need no special
-  /// casing at call sites. Exceptions propagate through `future::get()`.
+  /// Schedules `f` with scheduling key `deadline` (lower runs first, FIFO
+  /// among equal keys) and returns a future for its result. On a pool with
+  /// 0 workers the task runs inline on the calling thread (the future is
+  /// ready on return), so serial configurations need no special casing at
+  /// call sites. Exceptions propagate through `future::get()`. NaN keys
+  /// are rejected on every pool size (they would corrupt the heap's strict
+  /// weak ordering), so a bad key cannot hide behind a serial config.
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto submit_prioritized(double deadline, F&& f)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    if (std::isnan(deadline)) throw std::invalid_argument("ThreadPool: NaN scheduling key");
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     if (threads_.empty()) {
       (*task)();
     } else {
-      enqueue([task] { (*task)(); });
+      enqueue(deadline, [task] { (*task)(); });
     }
     return fut;
+  }
+
+  /// `submit_prioritized` with no deadline: pending deadline-tagged tasks
+  /// run first; plain submissions keep FIFO order among themselves.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    return submit_prioritized(kNoDeadline, std::forward<F>(f));
   }
 
   /// True iff the calling thread is a worker thread of *some* ThreadPool.
   [[nodiscard]] static bool on_worker_thread();
 
   /// RAII guard that marks the current thread as "inside parallel work" so
-  /// nested `parallel_for` calls take the serial fallback. The driver wraps
-  /// inline (0-worker) training in this so a serial run executes the exact
-  /// same kernel schedule as a pooled run.
+  /// nested `parallel_for` calls take the serial fallback. Use it to pin a
+  /// region of caller-supplied work to the serial kernel schedule (e.g. a
+  /// serial timing baseline). This is a wall-time choice only — chunked
+  /// kernels write disjoint output ranges, so fanning out or not never
+  /// changes floating-point results.
   class SerialRegion {
    public:
-    SerialRegion();
-    ~SerialRegion();
-    SerialRegion(const SerialRegion&) = delete;
-    SerialRegion& operator=(const SerialRegion&) = delete;
+    SerialRegion();   ///< marks the current thread as inside parallel work
+    ~SerialRegion();  ///< restores the previous marking
+    SerialRegion(const SerialRegion&) = delete;             ///< scope guard: non-copyable
+    SerialRegion& operator=(const SerialRegion&) = delete;  ///< scope guard: non-copyable
 
    private:
     bool prev_;
   };
 
  private:
+  /// One pending task: `key` orders the ready queue (ascending), `seq`
+  /// breaks ties FIFO so equal-deadline submissions keep insertion order.
+  struct PendingTask {
+    double key = kNoDeadline;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
   void worker_loop();
-  void enqueue(std::function<void()> task);
+  void enqueue(double key, std::function<void()> task);
+  PendingTask pop_task_locked();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
+  std::vector<PendingTask> tasks_;  ///< min-heap on (key, seq) via std::*_heap
+  std::uint64_t next_seq_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -61,10 +61,24 @@ TEST(EventQueue, PeekDoesNotAdvance) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, PeekReturnsEarliestEventIntact) {
+  EventQueue q;
+  q.schedule(4.0, 7, 9);
+  q.schedule(2.0, 3, 5);
+  const Event& e = q.peek();
+  EXPECT_DOUBLE_EQ(e.time, 2.0);
+  EXPECT_EQ(e.kind, 3);
+  EXPECT_EQ(e.actor, 5u);
+  EXPECT_EQ(q.size(), 2u);       // nothing was popped
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // the clock did not advance
+  EXPECT_EQ(q.pop().actor, 5u);  // pop agrees with peek
+}
+
 TEST(EventQueue, EmptyPopThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop(), std::logic_error);
   EXPECT_THROW(static_cast<void>(q.peek_time()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(q.peek()), std::logic_error);
 }
 
 TEST(EventQueue, KindAndActorRoundTrip) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "fl/mechanisms.hpp"
@@ -34,6 +35,9 @@ struct Fixture {
     cfg.time_budget = 900.0;
     cfg.eval_every = 1;
     cfg.eval_samples = 240;
+    // Several batches per evaluation, so every mechanism run below also
+    // exercises the lane-sharded Driver::evaluate path, not just training.
+    cfg.eval_batch = 64;
     cfg.max_rounds = 25;
     cfg.seed = seed;
   }
@@ -110,6 +114,55 @@ TEST(ParallelDeterminism, StalenessDampedAirFedGA) {
     opts.staleness_damping = 0.5;
     return AirFedGA(opts);
   });
+}
+
+// Driver::evaluate shards eval batches across lanes with a fixed-order
+// reduction; its result must be bit-identical to the serial path for every
+// lane count (the shard boundaries never depend on the lane count).
+TEST(ParallelDeterminism, ShardedEvaluateMatchesSerialBitwise) {
+  std::optional<ml::EvalResult> reference;
+  for (std::size_t threads : {1UL, 2UL, 3UL, 8UL}) {
+    Fixture f;
+    f.cfg.threads = threads;
+    f.cfg.eval_batch = 16;  // 240 samples -> 15 shards
+    Driver driver(f.cfg);
+    const auto w = driver.initial_model();
+    const auto r1 = driver.evaluate(w);
+    const auto r2 = driver.evaluate(w);  // stable under repetition
+    EXPECT_EQ(r1.loss, r2.loss);
+    EXPECT_EQ(r1.accuracy, r2.accuracy);
+    if (!reference) {
+      reference = r1;
+    } else {
+      EXPECT_EQ(reference->loss, r1.loss) << "@" << threads << " lanes";
+      EXPECT_EQ(reference->accuracy, r1.accuracy) << "@" << threads << " lanes";
+    }
+  }
+}
+
+// Sharded evaluation must also be bit-stable while training jobs occupy
+// the lanes (evaluation helpers then compete with deadline-tagged training
+// for lanes and may lease fresh scratch models).
+TEST(ParallelDeterminism, EvaluateDuringInFlightTraining) {
+  std::optional<ml::EvalResult> reference;
+  for (std::size_t threads : {1UL, 4UL}) {
+    Fixture f;
+    f.cfg.threads = threads;
+    f.cfg.eval_batch = 16;
+    Driver driver(f.cfg);
+    const auto w = driver.initial_model();
+    std::vector<std::size_t> everyone(driver.num_workers());
+    for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+    driver.begin_training(everyone, w, /*deadline=*/1.0);
+    const auto r = driver.evaluate(w);
+    driver.finish_training(everyone);
+    if (!reference) {
+      reference = r;
+    } else {
+      EXPECT_EQ(reference->loss, r.loss) << "@" << threads << " lanes";
+      EXPECT_EQ(reference->accuracy, r.accuracy) << "@" << threads << " lanes";
+    }
+  }
 }
 
 }  // namespace

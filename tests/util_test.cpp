@@ -5,11 +5,14 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <future>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -295,6 +298,83 @@ TEST(ThreadPool, SerialRegionSuppressesFanOut) {
   }
   EXPECT_TRUE(same_thread);
   EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, PrioritizedTasksRunInDeadlineOrder) {
+  ThreadPool pool(1);
+  // Block the single worker so every submission below piles up in the
+  // ready queue before anything is popped. Waiting for `started` ensures
+  // the worker has dequeued the blocker (and not a later submission)
+  // before anything else is enqueued.
+  std::promise<void> started;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.submit([&started, open] {
+    started.set_value();
+    open.wait();
+  });
+  started.get_future().wait();
+
+  // Executed by the single worker thread only, after the gate opens; reads
+  // happen after the futures synchronize, so no lock is needed.
+  std::vector<int> order;
+  auto rec = [&order](int tag) {
+    return [&order, tag] { order.push_back(tag); };
+  };
+  std::vector<std::future<void>> fs;
+  fs.push_back(pool.submit(rec(99)));                    // no deadline: runs last
+  fs.push_back(pool.submit_prioritized(30.0, rec(30)));
+  fs.push_back(pool.submit_prioritized(10.0, rec(10)));
+  fs.push_back(pool.submit_prioritized(20.0, rec(20)));
+  fs.push_back(pool.submit_prioritized(10.0, rec(11)));  // deadline tie: FIFO after 10
+  gate.set_value();
+  blocker.get();
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 30, 99}));
+}
+
+TEST(ThreadPool, UrgentTasksJumpTheQueue) {
+  ThreadPool pool(1);
+  std::promise<void> started;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.submit([&started, open] {
+    started.set_value();
+    open.wait();
+  });
+  started.get_future().wait();  // the worker holds the blocker, not a later task
+
+  std::vector<int> order;
+  auto deadline = pool.submit_prioritized(1.0, [&order] { order.push_back(1); });
+  auto plain = pool.submit([&order] { order.push_back(2); });
+  auto urgent =
+      pool.submit_prioritized(ThreadPool::kUrgent, [&order] { order.push_back(0); });
+  gate.set_value();
+  blocker.get();
+  deadline.get();
+  plain.get();
+  urgent.get();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, RejectsNaNSchedulingKey) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.submit_prioritized(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+  // Same contract on a 0-worker (inline) pool: a bad key must not hide
+  // behind the serial configuration.
+  ThreadPool inline_pool(0);
+  EXPECT_THROW(
+      inline_pool.submit_prioritized(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+}
+
+TEST(ThreadPool, PrioritizedSubmitOnZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  auto f = pool.submit_prioritized(5.0, [] { return 17; });
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get(), 17);
 }
 
 TEST(SplitMix, MixesDistinctInputs) {
