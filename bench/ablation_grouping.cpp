@@ -10,8 +10,10 @@
 #include "core/grouping.hpp"
 #include "sim/cluster.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
+  bench::FlagParser flags("Ablation: grouping policy under Air-FedGA aggregation");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
   const std::size_t workers = 60;
 
   bench::Experiment base(data::make_mnist_like(3000, 800, 9), workers,

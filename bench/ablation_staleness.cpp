@@ -7,8 +7,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
+  bench::FlagParser flags("Ablation: FedAsync-style staleness damping on Air-FedGA");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
   util::Table t({"damping a", "t@80%(s)", "t@85%(s)", "max staleness", "final acc"});
   for (double a : {0.0, 0.3, 0.7, 1.0}) {

@@ -9,12 +9,13 @@
 // mechanisms and prints the series/rows the corresponding paper figure
 // reports. Model sizes are scaled down from the paper's so the whole grid
 // runs on a 2-core CPU box; the scaling is documented per bench and in
-// EXPERIMENTS.md.
+// docs/BENCHMARKS.md.
 
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,9 +23,102 @@
 #include "data/partition.hpp"
 #include "fl/mechanisms.hpp"
 #include "ml/zoo.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/spec.hpp"
 #include "util/table.hpp"
 
 namespace airfedga::bench {
+
+/// Shared `--flag=value` parser for every bench binary: consistent
+/// `--help` output (exit 0) and unknown-argument errors (exit 2) instead
+/// of each main re-parsing argv by hand.
+///
+///   bench::FlagParser flags("Fig. 10 reproduction: ...");
+///   flags.add("threads", "lane counts for the engine sweep, e.g. 1,2,4");
+///   if (auto ec = flags.parse(argc, argv)) return *ec;
+///   if (const std::string* v = flags.get("threads")) ...
+class FlagParser {
+ public:
+  explicit FlagParser(std::string description) : description_(std::move(description)) {}
+
+  /// Registers `--name=<value>` with a help line.
+  void add(std::string name, std::string help) {
+    flags_.push_back({std::move(name), std::move(help), std::nullopt});
+  }
+
+  /// Parses argv. Returns the exit code main should return (0 for
+  /// `--help`, 2 for an unknown/malformed argument, with a message on the
+  /// right stream), or nullopt when the program should continue.
+  std::optional<int> parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_help(stdout, argv[0]);
+        return 0;
+      }
+      bool matched = false;
+      for (auto& f : flags_) {
+        const std::string prefix = "--" + f.name + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+          f.value = arg.substr(prefix.size());
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "unknown argument: %s\n\n", arg.c_str());
+        print_help(stderr, argv[0]);
+        return 2;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// The value of `--name=...`, or nullptr when the flag was not given.
+  [[nodiscard]] const std::string* get(const std::string& name) const {
+    for (const auto& f : flags_)
+      if (f.name == name && f.value) return &*f.value;
+    return nullptr;
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  void print_help(std::FILE* out, const char* argv0) const {
+    std::fprintf(out, "%s\n\nusage: %s [--help]", description_.c_str(), argv0);
+    for (const auto& f : flags_) std::fprintf(out, " [--%s=<value>]", f.name.c_str());
+    std::fprintf(out, "\n");
+    for (const auto& f : flags_)
+      std::fprintf(out, "  --%-12s %s\n", (f.name + "=").c_str(), f.help.c_str());
+  }
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+/// Runs every mechanism of a built scenario serially and returns the
+/// metric series in mechanism order (the registry is the single source of
+/// truth for the setup; the bench only presents the results).
+inline std::vector<fl::Metrics> run_all(scenario::BuiltScenario& built) {
+  std::vector<fl::Metrics> runs;
+  runs.reserve(built.mechanisms.size());
+  for (auto& m : built.mechanisms) runs.push_back(m->run(built.cfg));
+  return runs;
+}
+
+/// Prints each run's bit-identical metrics digest. `airfedga_cli run
+/// <preset>` reports the same digests at equal seeds/threads, which is the
+/// cross-binary reproducibility check the CI regression leg relies on.
+inline void print_digests(const std::vector<std::string>& names,
+                          const std::vector<fl::Metrics>& runs) {
+  std::printf("\n--- metrics digests (cross-check: airfedga_cli run <preset>) ---\n");
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    std::printf("%-12s %s\n", names[i].c_str(), runs[i].digest().c_str());
+}
 
 /// Canonical experiment configuration builder.
 struct Experiment {

@@ -2,38 +2,30 @@
 // (a 2-hidden-layer MLP) on the MNIST-like dataset, comparing the three
 // AirComp mechanisms: Dynamic [31], Air-FedAvg [18] and Air-FedGA.
 //
-// Scale-down vs. paper: hidden width 128 instead of 512 and 10k synthetic
-// training samples instead of 60k MNIST images (2-core CPU budget); all
-// wireless and heterogeneity parameters are the paper's (§VI-A2).
+// The experiment setup lives in the `fig03_lr_mnist` scenario preset
+// (src/scenario/presets.cpp). Scale-down vs. paper: hidden width 128
+// instead of 512 and 10k synthetic training samples instead of 60k MNIST
+// images (2-core CPU budget); all wireless and heterogeneity parameters
+// are the paper's (§VI-A2).
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
-  const double horizon = 5000.0;
+  bench::FlagParser flags("Fig. 3: LR (MLP) on MNIST-like, Dynamic vs Air-FedAvg vs Air-FedGA");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
-  bench::Experiment exp(data::make_mnist_like(10000, 2000, 1), /*workers=*/100,
-                        [] { return ml::make_mlp(784, 10, 128); });
-  exp.cfg.learning_rate = 1.0f;
-  exp.cfg.batch_size = 0;  // full local gradient (Eq. 4)
-  exp.cfg.time_budget = horizon;
-  exp.cfg.eval_every = 5;
-  exp.cfg.eval_samples = 1000;
-
-  fl::DynamicAirComp dynamic;
-  fl::AirFedAvg airfedavg;
-  fl::AirFedGA airfedga;
-
-  std::vector<std::string> names = {"Dynamic", "Air-FedAvg", "Air-FedGA"};
-  std::vector<fl::Metrics> runs;
-  runs.push_back(dynamic.run(exp.cfg));
-  runs.push_back(airfedavg.run(exp.cfg));
-  runs.push_back(airfedga.run(exp.cfg));
+  const scenario::ScenarioSpec& spec = scenario::preset("fig03_lr_mnist");
+  const double horizon = spec.time_budget;
+  auto built = scenario::build(spec);
+  const std::vector<fl::Metrics> runs = bench::run_all(built);
+  const std::vector<std::string>& names = built.mechanism_names;
 
   bench::print_curves("Fig. 3: LR (MLP) on MNIST-like, loss/accuracy vs time", names, runs,
                       /*step=*/250.0, horizon);
   std::printf("\n--- time to stable accuracy (cf. §VI-B1 headline) ---\n");
   bench::print_time_to_accuracy(names, runs, {0.80, 0.85, 0.90});
   bench::dump_csv("fig03", names, runs);
+  bench::print_digests(names, runs);
   return 0;
 }

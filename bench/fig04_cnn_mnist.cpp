@@ -1,35 +1,26 @@
 // Fig. 4 reproduction: Loss/Accuracy vs. time, CNN on MNIST-like images,
 // Dynamic vs Air-FedAvg vs Air-FedGA.
 //
-// Scale-down vs. paper: the CNN keeps the paper's topology (two 5x5 conv
-// blocks + two dense layers) at width_scale 0.15 (~31k parameters), and
-// mini-batch local steps replace the full local gradient to fit the CPU
-// budget. Wireless/heterogeneity parameters are the paper's.
+// The experiment setup lives in the `fig04_cnn_mnist` scenario preset
+// (src/scenario/presets.cpp) — `airfedga_cli run fig04_cnn_mnist`
+// reproduces this binary's metrics digests exactly. Scale-down vs. paper:
+// the CNN keeps the paper's topology (two 5x5 conv blocks + two dense
+// layers) at width_scale 0.15 (~31k parameters), and mini-batch local
+// steps replace the full local gradient to fit the CPU budget.
+// Wireless/heterogeneity parameters are the paper's.
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
-  const double horizon = 5000.0;
+  bench::FlagParser flags("Fig. 4: CNN on MNIST-like, Dynamic vs Air-FedAvg vs Air-FedGA");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
-  bench::Experiment exp(data::make_mnist_image_like(6000, 1000, 2), /*workers=*/100,
-                        [] { return ml::make_cnn_mnist(0.15, 28); });
-  exp.cfg.learning_rate = 0.03f;
-  exp.cfg.batch_size = 16;
-  exp.cfg.local_steps = 3;
-  exp.cfg.time_budget = horizon;
-  exp.cfg.eval_every = 10;
-  exp.cfg.eval_samples = 500;
-
-  fl::DynamicAirComp dynamic;
-  fl::AirFedAvg airfedavg;
-  fl::AirFedGA airfedga;
-
-  std::vector<std::string> names = {"Dynamic", "Air-FedAvg", "Air-FedGA"};
-  std::vector<fl::Metrics> runs;
-  runs.push_back(dynamic.run(exp.cfg));
-  runs.push_back(airfedavg.run(exp.cfg));
-  runs.push_back(airfedga.run(exp.cfg));
+  const scenario::ScenarioSpec& spec = scenario::preset("fig04_cnn_mnist");
+  const double horizon = spec.time_budget;
+  auto built = scenario::build(spec);
+  const std::vector<fl::Metrics> runs = bench::run_all(built);
+  const std::vector<std::string>& names = built.mechanism_names;
 
   bench::print_curves("Fig. 4: CNN on MNIST-like, loss/accuracy vs time", names, runs,
                       /*step=*/250.0, horizon);
@@ -38,5 +29,6 @@ int main() {
   std::printf("\n--- time to stable accuracy ---\n");
   bench::print_time_to_accuracy(names, runs, {0.40, 0.50, 0.60});
   bench::dump_csv("fig04", names, runs);
+  bench::print_digests(names, runs);
   return 0;
 }

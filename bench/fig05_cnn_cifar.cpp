@@ -2,35 +2,24 @@
 // Dynamic vs Air-FedAvg vs Air-FedGA. The paper's curves plateau around
 // 60% accuracy; the synthetic preset is tuned for the same plateau.
 //
-// Scale-down vs. paper: 3x16x16 inputs instead of 3x32x32, width_scale
-// 0.25 (~38k parameters), mini-batch local steps.
+// The experiment setup lives in the `fig05_cnn_cifar` scenario preset
+// (src/scenario/presets.cpp). Scale-down vs. paper: 3x16x16 inputs
+// instead of 3x32x32, width_scale 0.2, mini-batch local steps, and a
+// horizon trimmed to half the paper's 5000 s so the three CNN runs fit
+// the CPU budget; the mechanism ordering is established well before.
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
-  // Horizon trimmed to half the paper's 5000 s so the three CNN runs fit
-  // the CPU budget; the mechanism ordering is established well before.
-  const double horizon = 2500.0;
+  bench::FlagParser flags("Fig. 5: CNN on CIFAR-10-like, Dynamic vs Air-FedAvg vs Air-FedGA");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
-  bench::Experiment exp(data::make_cifar10_like(6000, 1000, 3), /*workers=*/100,
-                        [] { return ml::make_cnn_cifar(0.2, 16); });
-  exp.cfg.learning_rate = 0.3f;
-  exp.cfg.batch_size = 16;
-  exp.cfg.local_steps = 2;
-  exp.cfg.time_budget = horizon;
-  exp.cfg.eval_every = 10;
-  exp.cfg.eval_samples = 400;
-
-  fl::DynamicAirComp dynamic;
-  fl::AirFedAvg airfedavg;
-  fl::AirFedGA airfedga;
-
-  std::vector<std::string> names = {"Dynamic", "Air-FedAvg", "Air-FedGA"};
-  std::vector<fl::Metrics> runs;
-  runs.push_back(dynamic.run(exp.cfg));
-  runs.push_back(airfedavg.run(exp.cfg));
-  runs.push_back(airfedga.run(exp.cfg));
+  const scenario::ScenarioSpec& spec = scenario::preset("fig05_cnn_cifar");
+  const double horizon = spec.time_budget;
+  auto built = scenario::build(spec);
+  const std::vector<fl::Metrics> runs = bench::run_all(built);
+  const std::vector<std::string>& names = built.mechanism_names;
 
   bench::print_curves("Fig. 5: CNN on CIFAR-10-like, loss/accuracy vs time", names, runs,
                       /*step=*/125.0, horizon);
@@ -38,5 +27,6 @@ int main() {
   std::printf("\n--- time to stable accuracy ---\n");
   bench::print_time_to_accuracy(names, runs, {0.20, 0.25, 0.30});
   bench::dump_csv("fig05", names, runs);
+  bench::print_digests(names, runs);
   return 0;
 }

@@ -1,58 +1,38 @@
 // Fig. 6 reproduction: Loss/Accuracy vs. time on the ImageNet-100-like
 // dataset (100 classes), Dynamic vs Air-FedAvg vs Air-FedGA.
 //
-// Scale-down vs. paper (documented in EXPERIMENTS.md): VGG-16 training
-// from scratch on a 100-class task needs orders of magnitude more
-// optimization steps than the FL round budget provides on a 2-core CPU —
-// no architecture reaches the paper's 55-60% within ~100 aggregations.
-// We therefore substitute a wide dense classifier on flattened 3x16x16
-// images (~111k parameters, the same order as the latency model cares
-// about) and report the mechanism ordering at proportionally lower
-// absolute accuracy. The VGG-style conv stack itself is implemented and
-// unit-tested (ml::make_vgg_style); swap the factory below to use it if
-// you have the compute budget.
-
-#include <memory>
+// The experiment setup lives in the `fig06_vgg_imagenet` scenario preset
+// (src/scenario/presets.cpp). Scale-down vs. paper (documented in
+// docs/BENCHMARKS.md): VGG-16 training from scratch on a 100-class task needs
+// orders of magnitude more optimization steps than the FL round budget
+// provides on a 2-core CPU — no architecture reaches the paper's 55-60%
+// within ~100 aggregations. The preset therefore uses the `mlp1` model
+// (flatten + one wide dense hidden layer, ~111k parameters, the same
+// order as the latency model cares about) and reports the mechanism
+// ordering at proportionally lower absolute accuracy. The VGG-style conv
+// stack itself is implemented and unit-tested (ml::make_vgg_style); set
+// model.kind to "vgg_style" in a dumped scenario to use it if you have
+// the compute budget.
 
 #include "common.hpp"
-#include "ml/activation.hpp"
-#include "ml/dense.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
-  const double horizon = 5000.0;
+  bench::FlagParser flags(
+      "Fig. 6: 100-class ImageNet-100-like, Dynamic vs Air-FedAvg vs Air-FedGA");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
-  auto factory = [] {
-    ml::Model m;
-    m.add(std::make_unique<ml::Flatten>());
-    m.add(std::make_unique<ml::Dense>(3 * 16 * 16, 128));
-    m.add(std::make_unique<ml::ReLU>());
-    m.add(std::make_unique<ml::Dense>(128, 100));
-    return m;
-  };
-
-  bench::Experiment exp(data::make_imagenet100_like(8000, 1500, 4), /*workers=*/100, factory);
-  exp.cfg.learning_rate = 1.0f;
-  exp.cfg.batch_size = 16;
-  exp.cfg.local_steps = 3;
-  exp.cfg.time_budget = horizon;
-  exp.cfg.eval_every = 10;
-  exp.cfg.eval_samples = 750;
-
-  fl::DynamicAirComp dynamic;
-  fl::AirFedAvg airfedavg;
-  fl::AirFedGA airfedga;
-
-  std::vector<std::string> names = {"Dynamic", "Air-FedAvg", "Air-FedGA"};
-  std::vector<fl::Metrics> runs;
-  runs.push_back(dynamic.run(exp.cfg));
-  runs.push_back(airfedavg.run(exp.cfg));
-  runs.push_back(airfedga.run(exp.cfg));
+  const scenario::ScenarioSpec& spec = scenario::preset("fig06_vgg_imagenet");
+  const double horizon = spec.time_budget;
+  auto built = scenario::build(spec);
+  const std::vector<fl::Metrics> runs = bench::run_all(built);
+  const std::vector<std::string>& names = built.mechanism_names;
 
   bench::print_curves("Fig. 6: 100-class ImageNet-100-like, loss/accuracy vs time", names, runs,
                       /*step=*/250.0, horizon);
   std::printf("\n--- time to stable accuracy ---\n");
   bench::print_time_to_accuracy(names, runs, {0.08, 0.12, 0.16});
   bench::dump_csv("fig06", names, runs);
+  bench::print_digests(names, runs);
   return 0;
 }

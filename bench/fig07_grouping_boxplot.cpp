@@ -10,8 +10,10 @@
 #include "sim/cluster.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
+  bench::FlagParser flags("Fig. 7: box plot of per-group local-training times (Alg. 3, xi=0.3)");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
   auto tt = data::make_mnist_like(2000, 100, 1);
   util::Rng rng(42);

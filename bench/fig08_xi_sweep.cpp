@@ -6,45 +6,41 @@
 // over-the-air gain, huge staleness), a minimum around xi ~ 0.3, and a
 // slow rise toward xi = 1 (one giant group = synchronous straggler drag).
 //
+// The base setup lives in the `fig08_xi_sweep` scenario preset
+// (src/scenario/presets.cpp); this bench sweeps the preset's
+// mechanisms[0].xi knob — `airfedga_cli run fig08_xi_sweep --sweep
+// mechanisms.0.xi=0,0.1,...` runs the identical grid declaratively.
 // Scale-down vs. paper: MLP-64 on the flat MNIST-like dataset instead of
 // the CNN (the figure is about the grouping geometry, not the model), 60
 // workers, capped horizon. Unreached targets print as "-".
 
 #include "common.hpp"
+#include "data/data_stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
-  const double horizon = 12000.0;
-  const std::size_t workers = 60;
+  bench::FlagParser flags("Fig. 8: Air-FedGA training time vs xi (constraint 36d sweep)");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
   util::Table t({"xi", "groups", "t@80%(s)", "t@85%(s)", "t@90%(s)", "mean EMD"});
 
   for (int xi10 = 0; xi10 <= 10; ++xi10) {
     const double xi = xi10 / 10.0;
 
-    bench::Experiment exp(data::make_mnist_like(3000, 800, 5), workers,
-                          [] { return ml::make_mlp(784, 10, 64); });
-    exp.cfg.learning_rate = 1.0f;
-    exp.cfg.batch_size = 0;
-    exp.cfg.time_budget = horizon;
-    exp.cfg.max_rounds = 20000;
-    exp.cfg.eval_every = 10;
-    exp.cfg.eval_samples = 500;
-    exp.cfg.stop_at_accuracy = 0.905;
+    scenario::ScenarioSpec spec = scenario::preset("fig08_xi_sweep");
+    spec.mechanisms.at(0).xi = xi;
+    auto built = scenario::build(spec);
+    const fl::Metrics res = built.mechanisms.at(0)->run(built.cfg);
+    const auto* ga = dynamic_cast<const fl::AirFedGA*>(built.mechanisms.at(0).get());
 
-    fl::AirFedGA::Options opts;
-    opts.grouping.xi = xi;
-    fl::AirFedGA ga(opts);
-    const fl::Metrics res = ga.run(exp.cfg);
-
-    data::DataStats stats(exp.train, exp.cfg.partition);
+    data::DataStats stats(built.data->train, built.cfg.partition);
     auto cell = [&](double target) {
       const double tt = res.time_to_accuracy(target);
       return tt < 0 ? std::string("-") : util::Table::fmt(tt, 0);
     };
     t.add_row({util::Table::fmt(xi, 1),
-               util::Table::fmt_int(static_cast<long long>(ga.groups().size())), cell(0.80),
-               cell(0.85), cell(0.90), util::Table::fmt(stats.mean_emd(ga.groups()), 3)});
+               util::Table::fmt_int(static_cast<long long>(ga->groups().size())), cell(0.80),
+               cell(0.85), cell(0.90), util::Table::fmt(stats.mean_emd(ga->groups()), 3)});
   }
 
   std::printf("=== Fig. 8: training time vs xi (Air-FedGA, MLP-64 on MNIST-like) ===\n");

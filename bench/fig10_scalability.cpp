@@ -8,64 +8,32 @@
 // Total time: OMA mechanisms degrade with N, AirComp-async mechanisms
 // improve, and the gap widens with N.
 //
-// Scale-down vs. paper: MLP-64 on the MNIST-like dataset. The MLP's 55k
-// parameters keep the OMA-vs-AirComp upload asymmetry realistic
-// (1.76s/worker OMA vs 3.9ms AirComp).
+// The workloads live in the `fig10_nsweep` (N sweep, this default mode)
+// and `fig10_scalability` (engine thread sweep) scenario presets
+// (src/scenario/presets.cpp); this bench rescales the nsweep preset's
+// workers/train_samples/tiers per N. Scale-down vs. paper: MLP-64 on the
+// MNIST-like dataset. The MLP's 55k parameters keep the OMA-vs-AirComp
+// upload asymmetry realistic (1.76s/worker OMA vs 3.9ms AirComp).
 //
 // Engine mode: `--threads=<list>` (e.g. --threads=4 or --threads=1,2,4)
-// switches to the execution-engine sweep instead: it runs a fixed workload
-// at each training-lane count (a 1-lane baseline is always included),
-// reports wall-clock speedup plus per-mechanism barrier-stall and
-// evaluation wall time (the two serial fractions the deadline scheduler
-// and sharded evaluate attack), and verifies that the recorded metrics
-// are bit-identical across lane counts.
+// switches to the execution-engine sweep instead: it runs the
+// `fig10_scalability` preset at each training-lane count (a 1-lane
+// baseline is always included), reports wall-clock speedup plus
+// per-mechanism barrier-stall and evaluation wall time (the two serial
+// fractions the deadline scheduler and sharded evaluate attack), and
+// verifies that the recorded metrics are bit-identical across lane
+// counts. `airfedga_cli run fig10_scalability --threads=<list>` is the
+// declarative equivalent (same digests, JSONL output).
 
-#include <chrono>
+#include <algorithm>
 #include <string>
 
 #include "common.hpp"
-#include "util/stats.hpp"
+#include "scenario/runner.hpp"
 
 namespace {
 
 using namespace airfedga;
-
-/// One engine-sweep measurement: every mechanism once, at `threads` lanes.
-/// `names[i]` is `runs[i]`'s mechanism name — carried together so labels
-/// can never drift from the run list.
-struct SweepRun {
-  double wall = 0.0;
-  std::vector<std::string> names;
-  std::vector<fl::Metrics> runs;
-};
-
-SweepRun run_workload(std::size_t threads) {
-  const std::size_t workers = 40;
-  bench::Experiment exp(data::make_mnist_like(3000, 800, 8), workers,
-                        [] { return ml::make_mlp(784, 10, 64); });
-  exp.cfg.learning_rate = 1.0f;
-  exp.cfg.batch_size = 0;
-  exp.cfg.time_budget = 8000.0;
-  exp.cfg.eval_every = 5;
-  exp.cfg.eval_samples = 500;
-  exp.cfg.max_rounds = 60;
-  exp.cfg.threads = threads;
-
-  fl::FedAvg fedavg;
-  fl::TiFL tifl(4);
-  fl::AirFedGA airfedga;
-
-  SweepRun out;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (fl::Mechanism* mech : {static_cast<fl::Mechanism*>(&fedavg),
-                              static_cast<fl::Mechanism*>(&tifl),
-                              static_cast<fl::Mechanism*>(&airfedga)}) {
-    out.names.push_back(mech->name());
-    out.runs.push_back(mech->run(exp.cfg));
-  }
-  out.wall = util::wall_seconds_since(t0);
-  return out;
-}
 
 /// Parses "4" / "1,2,4" into lane counts. Returns false (with a message on
 /// stderr) on anything that isn't a comma-separated list of integers >= 1.
@@ -94,35 +62,37 @@ int run_thread_sweep(const std::string& list) {
   std::vector<std::size_t> counts = {1};  // the serial baseline anchors speedup
   if (!parse_thread_list(list, counts)) return 2;
 
+  const scenario::ScenarioSpec& spec = scenario::preset("fig10_scalability");
+  const auto sweep = scenario::run_thread_sweep(spec, counts);
+
   util::Table t({"threads", "wall(s)", "speedup vs 1", "bit-identical"});
   // Per-(threads, mechanism) engine instrumentation: wall time the
   // simulation thread spent blocked at training barriers and inside
   // evaluation. Deadline scheduling shrinks the former; sharded evaluation
   // the latter.
   util::Table engine_t({"threads", "mechanism", "barrier-stall(s)", "eval(s)"});
-  SweepRun baseline;
-  bool all_identical = true;
-  for (std::size_t threads : counts) {
-    SweepRun r = run_workload(threads);
-    for (std::size_t i = 0; i < r.runs.size(); ++i) {
-      const auto& es = r.runs[i].engine_stats();
-      engine_t.add_row({util::Table::fmt_int(static_cast<long long>(threads)),
-                        r.names[i], util::Table::fmt(es.barrier_seconds, 3),
+  double baseline_wall = 0.0;
+  for (std::size_t k = 0; k < sweep.by_threads.size(); ++k) {
+    const auto& result = sweep.by_threads[k];
+    double wall = 0.0;
+    bool identical = true;
+    for (const auto& run : result.runs) {
+      wall += run.wall_seconds;
+      identical = identical && run.bit_identical.value_or(true);
+      const auto& es = run.metrics.engine_stats();
+      engine_t.add_row({util::Table::fmt_int(static_cast<long long>(result.spec.threads)),
+                        run.mechanism, util::Table::fmt(es.barrier_seconds, 3),
                         util::Table::fmt(es.eval_seconds, 3)});
     }
-    bool identical = true;
-    if (threads == counts.front()) {
-      baseline = std::move(r);
-      t.add_row({util::Table::fmt_int(static_cast<long long>(threads)),
-                 util::Table::fmt(baseline.wall, 2), "1.00", "baseline"});
-      continue;
+    if (k == 0) {
+      baseline_wall = wall;
+      t.add_row({util::Table::fmt_int(static_cast<long long>(result.spec.threads)),
+                 util::Table::fmt(wall, 2), "1.00", "baseline"});
+    } else {
+      t.add_row({util::Table::fmt_int(static_cast<long long>(result.spec.threads)),
+                 util::Table::fmt(wall, 2), util::Table::fmt(baseline_wall / wall, 2),
+                 identical ? "yes" : "NO"});
     }
-    for (std::size_t i = 0; i < r.runs.size(); ++i)
-      identical = identical && baseline.runs[i].bit_identical(r.runs[i]);
-    all_identical = all_identical && identical;
-    t.add_row({util::Table::fmt_int(static_cast<long long>(threads)),
-               util::Table::fmt(r.wall, 2), util::Table::fmt(baseline.wall / r.wall, 2),
-               identical ? "yes" : "NO"});
   }
 
   std::printf("=== Execution-engine sweep: FedAvg + TiFL + Air-FedGA, N=40, MLP-64 ===\n");
@@ -131,7 +101,7 @@ int run_thread_sweep(const std::string& list) {
   std::printf("\n=== Engine stats: simulation-thread barrier stalls and eval wall time ===\n");
   engine_t.print(std::cout);
   engine_t.write_csv(bench::results_dir() + "/fig10_engine_stats.csv");
-  if (!all_identical) {
+  if (!sweep.all_identical) {
     std::printf("ERROR: metrics diverged across lane counts (determinism violation)\n");
     return 1;
   }
@@ -143,12 +113,10 @@ int run_thread_sweep(const std::string& list) {
 int main(int argc, char** argv) {
   using namespace airfedga;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) return run_thread_sweep(arg.substr(10));
-    std::fprintf(stderr, "unknown argument: %s (supported: --threads=<list>)\n", arg.c_str());
-    return 2;
-  }
+  bench::FlagParser flags("Fig. 10: scalability in N (default) or engine thread sweep");
+  flags.add("threads", "lane counts for the engine sweep, e.g. 4 or 1,2,4");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
+  if (const std::string* list = flags.get("threads")) return run_thread_sweep(*list);
 
   const double target = 0.80;
 
@@ -158,27 +126,16 @@ int main(int argc, char** argv) {
       {"N", "FedAvg", "Air-FedAvg", "Dynamic", "TiFL", "Air-FedGA"});
 
   for (std::size_t workers : {20UL, 40UL, 60UL, 80UL, 100UL}) {
-    bench::Experiment exp(data::make_mnist_like(std::max<std::size_t>(3000, workers * 50), 800, 8),
-                          workers, [] { return ml::make_mlp(784, 10, 64); });
-    exp.cfg.learning_rate = 1.0f;
-    exp.cfg.batch_size = 0;
-    exp.cfg.time_budget = 25000.0;
-    exp.cfg.eval_every = 5;
-    exp.cfg.eval_samples = 500;
-    exp.cfg.stop_at_accuracy = target + 0.01;
+    scenario::ScenarioSpec spec = scenario::preset("fig10_nsweep");
+    spec.partition.workers = workers;
+    spec.dataset.train_samples = std::max<std::size_t>(3000, workers * 50);
+    // Early stop tracks the reported target (re-derives the preset value).
+    spec.stop_at_accuracy = target + 0.01;
+    for (auto& m : spec.mechanisms)
+      if (m.kind == "tifl") m.tiers = std::max<std::size_t>(2, workers / 15);
 
-    fl::FedAvg fedavg;
-    fl::AirFedAvg airfedavg;
-    fl::DynamicAirComp dynamic;
-    fl::TiFL tifl(std::max<std::size_t>(2, workers / 15));
-    fl::AirFedGA airfedga;
-
-    std::vector<fl::Metrics> runs;
-    runs.push_back(fedavg.run(exp.cfg));
-    runs.push_back(airfedavg.run(exp.cfg));
-    runs.push_back(dynamic.run(exp.cfg));
-    runs.push_back(tifl.run(exp.cfg));
-    runs.push_back(airfedga.run(exp.cfg));
+    auto built = scenario::build(spec);
+    const std::vector<fl::Metrics> runs = bench::run_all(built);
 
     std::vector<std::string> round_cells = {util::Table::fmt_int(static_cast<long long>(workers))};
     std::vector<std::string> total_cells = round_cells;

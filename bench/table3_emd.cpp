@@ -9,8 +9,10 @@
 #include "core/grouping.hpp"
 #include "sim/cluster.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace airfedga;
+  bench::FlagParser flags("Table III: impact of the grouping method on mean EMD");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
 
   auto tt = data::make_mnist_like(5000, 100, 1);
   util::Rng rng(42);

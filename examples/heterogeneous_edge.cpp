@@ -4,15 +4,18 @@
 // baselines against Air-FedGA — the motivating scenario of the paper's
 // §I (straggler problem).
 //
-//   $ ./heterogeneous_edge
+// The base setup is the `example_heterogeneous_edge` scenario preset;
+// this example mutates its cluster.kappa_max per sweep point. The same
+// study runs declaratively as
+//   airfedga_cli run example_heterogeneous_edge --sweep cluster.kappa_max=2,5,10
+//
+//   $ ./example_heterogeneous_edge
 
 #include <cstdio>
 #include <iostream>
 
-#include "data/dataset.hpp"
-#include "data/partition.hpp"
-#include "fl/mechanisms.hpp"
-#include "ml/zoo.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/spec.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -22,36 +25,20 @@ int main() {
                      "Air-FedGA t@75%(s)", "Air-FedGA groups"});
 
   for (double kappa_max : {2.0, 5.0, 10.0}) {
-    auto tt = data::make_mnist_like(3000, 600, 11);
-    util::Rng rng(11);
+    scenario::ScenarioSpec spec = scenario::preset("example_heterogeneous_edge");
+    spec.cluster.kappa_max = kappa_max;
+    scenario::BuiltScenario built = scenario::build(spec);
 
-    fl::FLConfig cfg;
-    cfg.train = &tt.train;
-    cfg.test = &tt.test;
-    cfg.partition = data::partition_label_skew(tt.train, 60, rng);
-    cfg.model_factory = [] { return ml::make_mlp(784, 10, 64); };
-    cfg.learning_rate = 1.0f;
-    cfg.batch_size = 0;
-    cfg.cluster.base_seconds = 6.0;
-    cfg.cluster.kappa_max = kappa_max;
-    cfg.time_budget = 15000.0;
-    cfg.eval_every = 10;
-    cfg.eval_samples = 600;
-    cfg.stop_at_accuracy = 0.82;
-
-    fl::FedAvg fedavg;
-    fl::AirFedAvg airfedavg;
-    fl::AirFedGA airfedga;
-    const auto r_fed = fedavg.run(cfg);
-    const auto r_air = airfedavg.run(cfg);
-    const auto r_ga = airfedga.run(cfg);
+    std::vector<fl::Metrics> runs;
+    for (auto& m : built.mechanisms) runs.push_back(m->run(built.cfg));
 
     auto cell = [](const fl::Metrics& m) {
       const double t = m.time_to_accuracy(0.75);
       return t < 0 ? std::string("-") : util::Table::fmt(t, 0);
     };
-    table.add_row({util::Table::fmt(kappa_max, 0), cell(r_fed), cell(r_air), cell(r_ga),
-                   util::Table::fmt_int(static_cast<long long>(airfedga.groups().size()))});
+    const auto* ga = dynamic_cast<const fl::AirFedGA*>(built.mechanisms.back().get());
+    table.add_row({util::Table::fmt(kappa_max, 0), cell(runs[0]), cell(runs[1]), cell(runs[2]),
+                   util::Table::fmt_int(static_cast<long long>(ga->groups().size()))});
   }
 
   std::printf("Time to 75%% accuracy as edge heterogeneity grows\n");

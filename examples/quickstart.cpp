@@ -1,51 +1,41 @@
 // Quickstart: train a federated model with Air-FedGA in ~30 lines.
 //
-// Builds a 40-worker federation over a label-skewed synthetic dataset,
-// runs the full Air-FedGA pipeline (Alg. 3 grouping, per-round power
-// control, over-the-air aggregation, asynchronous group updates) and
-// prints the learning curve.
+// The experiment — a 40-worker federation over a label-skewed synthetic
+// dataset — is described declaratively by the `example_quickstart`
+// scenario preset; `build` materializes the dataset, partition, and
+// mechanism, and the run produces the learning curve. Customize by
+// editing the spec fields (any FLConfig knob has a spec counterpart), or
+// dump it as JSON (`airfedga_cli dump example_quickstart`), hand-edit,
+// and run it back through `airfedga_cli run`.
 //
-//   $ ./quickstart
+//   $ ./example_quickstart
 
 #include <cstdio>
 
-#include "data/dataset.hpp"
-#include "data/partition.hpp"
-#include "fl/mechanisms.hpp"
-#include "ml/zoo.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/spec.hpp"
 
 int main() {
   using namespace airfedga;
 
-  // 1. Data: an MNIST-like synthetic set, split across 40 workers so that
-  //    each worker holds samples of a single class (the paper's Non-IID).
-  auto tt = data::make_mnist_like(/*train=*/4000, /*test=*/800, /*seed=*/7);
-  util::Rng rng(7);
-
-  fl::FLConfig cfg;
-  cfg.train = &tt.train;
-  cfg.test = &tt.test;
-  cfg.partition = data::partition_label_skew(tt.train, /*num_workers=*/40, rng);
-
-  // 2. Model: the paper's "LR" (MLP); any ml::Model factory works.
-  cfg.model_factory = [] { return ml::make_mlp(784, 10, 64); };
-  cfg.learning_rate = 1.0f;
-  cfg.batch_size = 0;  // full local gradient, Eq. (4)
-
-  // 3. Edge heterogeneity and wireless parameters (paper defaults:
+  // 1. Scenario: dataset, model, partition, wireless substrate, and the
+  //    mechanism list, all in one declarative spec (paper defaults:
   //    kappa ~ U[1,10], sigma0^2 = 1 W, E_i = 10 J).
-  cfg.cluster.base_seconds = 6.0;
-  cfg.time_budget = 4000.0;  // virtual seconds
-  cfg.eval_every = 10;
-  cfg.eval_samples = 800;
+  scenario::ScenarioSpec spec = scenario::preset("example_quickstart");
+  spec.time_budget = 4000.0;  // specs are plain structs — tweak freely
 
-  // 4. Run Air-FedGA.
-  fl::AirFedGA mechanism;
-  const fl::Metrics metrics = mechanism.run(cfg);
+  // 2. Materialize: generates the data, partitions it across the workers,
+  //    and instantiates the Air-FedGA mechanism (Alg. 3 grouping,
+  //    per-round power control, over-the-air aggregation).
+  scenario::BuiltScenario built = scenario::build(spec);
 
-  // 5. Inspect the result.
-  std::printf("Air-FedGA grouped %zu workers into %zu groups\n", cfg.partition.size(),
-              mechanism.groups().size());
+  // 3. Run.
+  const fl::Metrics metrics = built.mechanisms.at(0)->run(built.cfg);
+
+  // 4. Inspect the result.
+  const auto* ga = dynamic_cast<const fl::AirFedGA*>(built.mechanisms.at(0).get());
+  std::printf("Air-FedGA grouped %zu workers into %zu groups\n", built.cfg.partition.size(),
+              ga->groups().size());
   std::printf("%8s %8s %10s %10s\n", "time(s)", "round", "loss", "accuracy");
   for (const auto& p : metrics.points())
     if (p.round % 50 == 0 || &p == &metrics.points().back())

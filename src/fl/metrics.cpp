@@ -1,7 +1,10 @@
 #include "fl/metrics.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -78,9 +81,49 @@ double Metrics::max_staleness() const {
   return m;
 }
 
+std::string Metrics::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  const auto mix = [&h](const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_u64 = [&](std::uint64_t v) { mix(&v, sizeof(v)); };
+  const auto mix_d = [&](double v) { mix(&v, sizeof(v)); };
+
+  mix_u64(points_.size());
+  for (const auto& p : points_) {
+    mix_d(p.time);
+    mix_u64(p.round);
+    mix_d(p.loss);
+    mix_d(p.accuracy);
+    mix_d(p.energy);
+    mix_d(p.staleness);
+  }
+  mix_u64(final_model_.size());
+  if (!final_model_.empty())
+    mix(final_model_.data(), final_model_.size() * sizeof(float));
+
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
 void Metrics::write_csv(const std::string& path) const {
+  // Create a missing output directory instead of silently producing
+  // nothing; a path that still cannot be opened fails with the reason.
+  const auto parent = std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  if (ec)
+    throw std::runtime_error("Metrics::write_csv: cannot create directory " + parent.string() +
+                             ": " + ec.message());
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("Metrics::write_csv: cannot open " + path);
+  if (!f)
+    throw std::runtime_error("Metrics::write_csv: cannot open " + path +
+                             " for writing (check permissions and that the parent is a directory)");
   f << "time,round,loss,accuracy,energy,staleness\n";
   for (const auto& p : points_)
     f << p.time << ',' << p.round << ',' << p.loss << ',' << p.accuracy << ',' << p.energy

@@ -66,6 +66,13 @@ class Metrics {
   /// contract — used by the thread-sweep bench and the determinism tests.
   [[nodiscard]] bool bit_identical(const Metrics& other) const;
 
+  /// 16-hex-char FNV-1a 64 digest over the bit patterns of every recorded
+  /// point and the final model — a compact fingerprint of everything
+  /// `bit_identical` compares, so two runs digest equal iff they are
+  /// bit-identical. Written into the scenario runner's JSONL/CSV results
+  /// and printed by the figure benches for cross-binary comparison.
+  [[nodiscard]] std::string digest() const;
+
   /// The trained global model w_T (flat parameter vector); set by every
   /// mechanism before returning (Alg. 1 line 32 "return global model").
   [[nodiscard]] const std::vector<float>& final_model() const { return final_model_; }

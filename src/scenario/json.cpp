@@ -1,0 +1,464 @@
+#include "scenario/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace airfedga::scenario {
+
+Json::Json(double v) : type_(Type::Number), number_(v) {
+  if (!std::isfinite(v))
+    throw std::invalid_argument("Json: numbers must be finite (got NaN or infinity)");
+}
+
+const char* Json::type_name(Type t) {
+  switch (t) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "?";
+}
+
+namespace {
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  throw std::runtime_error(std::string("Json: expected ") + wanted + ", value is " +
+                           Json::type_name(got));
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::Array) type_error("array", type_);
+  return array_;
+}
+
+Json::Array& Json::as_array() {
+  if (type_ != Type::Array) type_error("array", type_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return object_;
+}
+
+Json::Object& Json::as_object() {
+  if (type_ != Type::Object) type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json* Json::find(std::string_view key) {
+  if (type_ != Type::Object) return nullptr;
+  for (auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (type_ != Type::Object) type_error("object", type_);
+  if (const Json* v = find(key)) return *v;
+  throw std::runtime_error("Json: missing key \"" + std::string(key) + "\"");
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::Array) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Number: return number_ == other.number_;
+    case Type::String: return string_ == other.string_;
+    case Type::Array: return array_ == other.array_;
+    case Type::Object: return object_ == other.object_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ parse --
+
+namespace {
+
+/// Recursive-descent parser over the whole document, tracking line/column
+/// for error reporting. Depth is bounded to keep adversarial inputs from
+/// overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("unexpected trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(message, line_, column_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  void expect(char c, const char* context) {
+    skip_whitespace();
+    if (eof()) fail(std::string("unexpected end of input, expected '") + c + "' " + context);
+    if (peek() != c)
+      fail(std::string("expected '") + c + "' " + context + ", got '" + peek() + "'");
+    advance();
+  }
+
+  Json parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
+    skip_whitespace();
+    if (eof()) fail("unexpected end of input, expected a JSON value");
+    Json out;
+    switch (peek()) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': out = Json(parse_string("string")); break;
+      case 't': parse_literal("true"); out = Json(true); break;
+      case 'f': parse_literal("false"); out = Json(false); break;
+      case 'n': parse_literal("null"); out = Json(nullptr); break;
+      default: out = parse_number(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  void parse_literal(std::string_view lit) {
+    for (char c : lit) {
+      if (eof() || peek() != c)
+        fail("invalid literal, expected \"" + std::string(lit) + "\"");
+      advance();
+    }
+  }
+
+  Json parse_object() {
+    advance();  // '{'
+    Json::Object members;
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      advance();
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (eof()) fail("unexpected end of input inside object");
+      if (peek() != '"') fail("expected '\"' to start an object key");
+      std::string key = parse_string("object key");
+      for (const auto& [k, v] : members)
+        if (k == key) fail("duplicate object key \"" + key + "\"");
+      expect(':', "after object key");
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (eof()) fail("unexpected end of input inside object");
+      const char c = advance();
+      if (c == '}') break;
+      if (c != ',') fail(std::string("expected ',' or '}' in object, got '") + c + "'");
+    }
+    return Json(std::move(members));
+  }
+
+  Json parse_array() {
+    advance();  // '['
+    Json::Array items;
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      advance();
+      return Json(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      if (eof()) fail("unexpected end of input inside array");
+      const char c = advance();
+      if (c == ']') break;
+      if (c != ',') fail(std::string("expected ',' or ']' in array, got '") + c + "'");
+    }
+    return Json(std::move(items));
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unexpected end of input inside \\u escape");
+      const char c = advance();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail(std::string("invalid hex digit '") + c + "' in \\u escape");
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string(const char* what) {
+    advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) fail(std::string("unterminated ") + what);
+      const char c = advance();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail(std::string("unescaped control character in ") + what);
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail(std::string("unterminated escape in ") + what);
+      const char e = advance();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+            if (eof() || peek() != '\\') fail("high surrogate not followed by \\u escape");
+            advance();
+            if (eof() || peek() != 'u') fail("high surrogate not followed by \\u escape");
+            advance();
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              fail("invalid low surrogate in \\u escape pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(std::string("invalid escape character '\\") + e + "'");
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') advance();
+    if (eof() || peek() < '0' || peek() > '9')
+      fail("invalid character, expected a JSON value");
+    if (peek() == '0') {
+      advance();
+      if (!eof() && peek() >= '0' && peek() <= '9')
+        fail("numbers may not have leading zeros");
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!eof() && peek() == '.') {
+      advance();
+      if (eof() || peek() < '0' || peek() > '9') fail("expected digits after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) advance();
+      if (eof() || peek() < '0' || peek() > '9') fail("expected digits in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range || !std::isfinite(value))
+      fail("number out of double range: \"" + std::string(token) + "\"");
+    if (ec != std::errc() || ptr != token.data() + token.size())
+      fail("invalid number \"" + std::string(token) + "\"");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+// ------------------------------------------------------------------- dump --
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+  // Integers up to 2^53 print without an exponent or trailing ".0" so that
+  // seeds/counts look like integers in dumped scenarios; everything else
+  // uses the shortest round-tripping form.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: dump_number(out, number_); break;
+    case Type::String: dump_string(out, string_); break;
+    case Type::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        newline_pad(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        dump_string(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace airfedga::scenario

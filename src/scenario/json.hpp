@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \namespace airfedga::scenario
+/// Declarative scenario layer: a dependency-free JSON value type, the
+/// ScenarioSpec that covers the full FLConfig surface, the preset registry
+/// of paper figure/table setups, and the runner behind the airfedga CLI.
+
+namespace airfedga::scenario {
+
+/// Parse error with the 1-based line/column of the offending character and
+/// a message that names what was expected.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(std::string message, std::size_t line, std::size_t column)
+      : std::runtime_error(message + " at line " + std::to_string(line) + ", column " +
+                           std::to_string(column)),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// A JSON value (null, bool, number, string, array, object). Objects keep
+/// insertion order so dump -> parse -> dump is byte-stable, which the
+/// scenario config hash relies on. Strict RFC 8259 parsing: no comments,
+/// no trailing commas, no duplicate keys, full \u escape handling
+/// (including surrogate pairs), and numbers must be finite.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double v);  // throws std::invalid_argument on NaN/inf
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(unsigned v) : Json(static_cast<double>(v)) {}
+  Json(long v) : Json(static_cast<double>(v)) {}
+  Json(unsigned long v) : Json(static_cast<double>(v)) {}
+  Json(unsigned long long v) : Json(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::Array), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::runtime_error naming the actual type on
+  /// mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object lookup: pointer to the member value, or nullptr when absent
+  /// (or when this is not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] Json* find(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Object access that throws (with the key in the message) when missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Inserts or replaces an object member (keeps first-insertion order).
+  void set(std::string key, Json value);
+
+  /// Appends to an array value.
+  void push_back(Json value);
+
+  /// Human-readable name of a Type ("object", "number", ...).
+  static const char* type_name(Type t);
+
+  /// Parses a complete JSON document; trailing non-whitespace is an error.
+  static Json parse(std::string_view text);
+
+  /// Serializes. `indent` < 0 gives a compact single line; >= 0 pretty
+  /// prints with that many spaces per level. Numbers use the shortest
+  /// representation that round-trips (to_chars), so dump/parse is lossless.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace airfedga::scenario

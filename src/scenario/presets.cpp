@@ -1,0 +1,244 @@
+#include "scenario/presets.hpp"
+
+#include <stdexcept>
+
+namespace airfedga::scenario {
+
+namespace {
+
+MechanismSpec mech(const std::string& kind) {
+  MechanismSpec m;
+  m.kind = kind;
+  return m;
+}
+
+/// The paper's §VI-A system setup shared by every figure preset: N workers
+/// with kappa ~ U[1,10] compute heterogeneity, label-skew partition,
+/// sigma0^2 = 1 W, E_i = 10 J, B = 1 MHz OMA uplink, R = 1024 AirComp
+/// sub-channels, root seed 42 (these are the ScenarioSpec defaults).
+ScenarioSpec base(const std::string& name, const std::string& description) {
+  ScenarioSpec s;
+  s.name = name;
+  s.description = description;
+  return s;
+}
+
+std::vector<ScenarioSpec> make_presets() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    ScenarioSpec s = base("fig03_lr_mnist",
+                          "Fig. 3: LR (MLP-128) on MNIST-like, Dynamic vs Air-FedAvg vs "
+                          "Air-FedGA, loss/accuracy vs time");
+    s.dataset = {"mnist_like", 10000, 2000, 1};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 128};
+    s.partition.workers = 100;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 5000.0;
+    s.eval_every = 5;
+    s.eval_samples = 1000;
+    s.mechanisms = {mech("dynamic"), mech("airfedavg"), mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig04_cnn_mnist",
+                          "Fig. 4: CNN (width 0.15) on MNIST-image-like, Dynamic vs Air-FedAvg "
+                          "vs Air-FedGA, loss/accuracy vs time");
+    s.dataset = {"mnist_image_like", 6000, 1000, 2};
+    s.model = {.kind = "cnn_mnist", .width_scale = 0.15, .image = 28};
+    s.partition.workers = 100;
+    s.learning_rate = 0.03;
+    s.batch_size = 16;
+    s.local_steps = 3;
+    s.time_budget = 5000.0;
+    s.eval_every = 10;
+    s.eval_samples = 500;
+    s.mechanisms = {mech("dynamic"), mech("airfedavg"), mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig05_cnn_cifar",
+                          "Fig. 5: CNN (width 0.2) on CIFAR-10-like, Dynamic vs Air-FedAvg vs "
+                          "Air-FedGA, loss/accuracy vs time");
+    s.dataset = {"cifar10_like", 6000, 1000, 3};
+    s.model = {.kind = "cnn_cifar", .width_scale = 0.2, .image = 16};
+    s.partition.workers = 100;
+    s.learning_rate = 0.3;
+    s.batch_size = 16;
+    s.local_steps = 2;
+    s.time_budget = 2500.0;
+    s.eval_every = 10;
+    s.eval_samples = 400;
+    s.mechanisms = {mech("dynamic"), mech("airfedavg"), mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig06_vgg_imagenet",
+                          "Fig. 6: dense head on ImageNet-100-like (100 classes), Dynamic vs "
+                          "Air-FedAvg vs Air-FedGA (docs/BENCHMARKS.md explains the VGG "
+                          "scale-down)");
+    s.dataset = {"imagenet100_like", 8000, 1500, 4};
+    s.model = {.kind = "mlp1", .input_dim = 3 * 16 * 16, .num_classes = 100, .hidden = 128};
+    s.partition.workers = 100;
+    s.learning_rate = 1.0;
+    s.batch_size = 16;
+    s.local_steps = 3;
+    s.time_budget = 5000.0;
+    s.eval_every = 10;
+    s.eval_samples = 750;
+    s.mechanisms = {mech("dynamic"), mech("airfedavg"), mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig08_xi_sweep",
+                          "Fig. 8 (one point): Air-FedGA at xi = 0.3 on MNIST-like, 60 workers; "
+                          "sweep mechanisms[0].xi over 0..1 for the full figure");
+    s.dataset = {"mnist_like", 3000, 800, 5};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 64};
+    s.partition.workers = 60;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 12000.0;
+    s.max_rounds = 20000;
+    s.eval_every = 10;
+    s.eval_samples = 500;
+    s.stop_at_accuracy = 0.905;
+    s.mechanisms = {mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig09_energy_mnist",
+                          "Fig. 9 (left): aggregation energy to reach accuracy, MLP-64 on "
+                          "MNIST-like, Air-FedAvg vs Air-FedGA vs Dynamic");
+    s.dataset = {"mnist_like", 5000, 800, 6};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 64};
+    s.partition.workers = 100;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 10000.0;
+    s.eval_every = 5;
+    s.eval_samples = 500;
+    s.stop_at_accuracy = 0.895;
+    s.mechanisms = {mech("airfedavg"), mech("airfedga"), mech("dynamic")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig09_energy_cifar",
+                          "Fig. 9 (right): aggregation energy to reach accuracy, CNN on "
+                          "CIFAR-10-like, Air-FedAvg vs Air-FedGA vs Dynamic");
+    s.dataset = {"cifar10_like", 5000, 800, 7};
+    s.model = {.kind = "cnn_cifar", .width_scale = 0.2, .image = 16};
+    s.partition.workers = 100;
+    s.learning_rate = 0.03;
+    s.batch_size = 16;
+    s.local_steps = 2;
+    s.time_budget = 3000.0;
+    s.eval_every = 10;
+    s.eval_samples = 400;
+    s.stop_at_accuracy = 0.365;
+    s.mechanisms = {mech("airfedavg"), mech("airfedga"), mech("dynamic")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig10_scalability",
+                          "Fig. 10 engine workload: FedAvg + TiFL(4) + Air-FedGA, 40 workers, "
+                          "MLP-64, 60 rounds; run with --threads=1,2,4 for the determinism sweep");
+    s.dataset = {"mnist_like", 3000, 800, 8};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 64};
+    s.partition.workers = 40;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 8000.0;
+    s.max_rounds = 60;
+    s.eval_every = 5;
+    s.eval_samples = 500;
+    MechanismSpec tifl = mech("tifl");
+    tifl.tiers = 4;
+    s.mechanisms = {mech("fedavg"), tifl, mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("fig10_nsweep",
+                          "Fig. 10 N-sweep base (N = 20 point): all five mechanisms to a stable "
+                          "80%; the bench rescales workers/train_samples/tiers per N");
+    s.dataset = {"mnist_like", 3000, 800, 8};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 64};
+    s.partition.workers = 20;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 25000.0;
+    s.eval_every = 5;
+    s.eval_samples = 500;
+    s.stop_at_accuracy = 0.81;
+    MechanismSpec tifl = mech("tifl");
+    tifl.tiers = 2;  // max(2, N / 15) at N = 20
+    s.mechanisms = {mech("fedavg"), mech("airfedavg"), mech("dynamic"), tifl, mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("example_quickstart",
+                          "Quickstart federation: Air-FedGA on 40 label-skewed workers, MLP-64 "
+                          "on MNIST-like");
+    s.dataset = {"mnist_like", 4000, 800, 7};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 64};
+    s.partition.workers = 40;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 4000.0;
+    s.eval_every = 10;
+    s.eval_samples = 800;
+    s.seed = 7;
+    s.mechanisms = {mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("example_heterogeneous_edge",
+                          "Heterogeneous-edge study base: FedAvg vs Air-FedAvg vs Air-FedGA at "
+                          "kappa_max = 10; sweep cluster.kappa_max for the straggler study");
+    s.dataset = {"mnist_like", 3000, 600, 11};
+    s.model = {.kind = "mlp", .input_dim = 784, .num_classes = 10, .hidden = 64};
+    s.partition.workers = 60;
+    s.learning_rate = 1.0;
+    s.batch_size = 0;
+    s.time_budget = 15000.0;
+    s.eval_every = 10;
+    s.eval_samples = 600;
+    s.stop_at_accuracy = 0.82;
+    s.seed = 11;
+    s.mechanisms = {mech("fedavg"), mech("airfedavg"), mech("airfedga")};
+    out.push_back(std::move(s));
+  }
+
+  for (const auto& s : out) s.validate();  // a broken preset fails fast at first use
+  return out;
+}
+
+const std::vector<ScenarioSpec>& registry() {
+  static const std::vector<ScenarioSpec> presets = make_presets();
+  return presets;
+}
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const auto& s : registry()) names.push_back(s.name);
+  return names;
+}
+
+bool has_preset(const std::string& name) {
+  for (const auto& s : registry())
+    if (s.name == name) return true;
+  return false;
+}
+
+const ScenarioSpec& preset(const std::string& name) {
+  for (const auto& s : registry())
+    if (s.name == name) return s;
+  std::string names;
+  for (const auto& n : preset_names()) names += "\n  " + n;
+  throw std::invalid_argument("unknown preset \"" + name + "\"; registered presets:" + names);
+}
+
+}  // namespace airfedga::scenario

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace airfedga::scenario {
+
+/// Names of all registered presets, in registry order (figures first).
+std::vector<std::string> preset_names();
+
+/// True when `name` is a registered preset.
+bool has_preset(const std::string& name);
+
+/// The registered scenario for `name`; throws std::invalid_argument
+/// listing the valid names when unknown. Every preset is the single source
+/// of truth for the corresponding figure/table binary's experiment setup —
+/// the bench builds its config through this registry, and
+/// `airfedga_cli run <name>` reproduces the bench's metrics digest.
+const ScenarioSpec& preset(const std::string& name);
+
+}  // namespace airfedga::scenario

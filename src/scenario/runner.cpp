@@ -1,0 +1,243 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace airfedga::scenario {
+
+// ------------------------------------------------------------ sweep paths --
+
+void json_set_path(Json& root, const std::string& path, Json value) {
+  if (path.empty()) throw std::invalid_argument("sweep path: must not be empty");
+  Json* node = &root;
+  std::size_t pos = 0;
+  std::string walked;
+  while (true) {
+    const std::size_t dot = path.find('.', pos);
+    const std::string seg = path.substr(pos, dot == std::string::npos ? dot : dot - pos);
+    if (seg.empty())
+      throw std::invalid_argument("sweep path \"" + path + "\": empty segment after \"" +
+                                  walked + "\"");
+    const bool is_index = std::all_of(seg.begin(), seg.end(),
+                                      [](unsigned char c) { return std::isdigit(c); });
+    Json* next = nullptr;
+    if (is_index && node->is_array()) {
+      if (seg.size() > 9)
+        throw std::invalid_argument("sweep path \"" + path + "\": index " + seg +
+                                    " out of range (array \"" + walked + "\" has " +
+                                    std::to_string(node->as_array().size()) + " elements)");
+      const std::size_t idx = std::stoul(seg);
+      if (idx >= node->as_array().size())
+        throw std::invalid_argument("sweep path \"" + path + "\": index " + seg +
+                                    " out of range (array \"" + walked + "\" has " +
+                                    std::to_string(node->as_array().size()) + " elements)");
+      next = &node->as_array()[idx];
+    } else if (node->is_object()) {
+      next = node->find(seg);
+      if (next == nullptr)
+        throw std::invalid_argument("sweep path \"" + path + "\": no key \"" + seg + "\" under \"" +
+                                    (walked.empty() ? "<root>" : walked) + "\"");
+    } else {
+      throw std::invalid_argument("sweep path \"" + path + "\": \"" + walked +
+                                  "\" is a scalar, cannot descend into \"" + seg + "\"");
+    }
+    walked = walked.empty() ? seg : walked + "." + seg;
+    if (dot == std::string::npos) {
+      *next = std::move(value);
+      return;
+    }
+    node = next;
+    pos = dot + 1;
+  }
+}
+
+std::vector<ScenarioSpec> expand_sweeps(const ScenarioSpec& base,
+                                        const std::vector<SweepAxis>& axes) {
+  for (const auto& axis : axes)
+    if (axis.values.empty())
+      throw std::invalid_argument("sweep axis \"" + axis.path + "\": needs at least one value");
+
+  std::vector<ScenarioSpec> out;
+  std::vector<std::size_t> idx(axes.size(), 0);
+  while (true) {
+    Json j = base.to_json();
+    std::string suffix;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      json_set_path(j, axes[a].path, axes[a].values[idx[a]]);
+      suffix += "@" + axes[a].path + "=" + axes[a].values[idx[a]].dump();
+    }
+    ScenarioSpec variant = ScenarioSpec::from_json(j);
+    if (!suffix.empty()) variant.name += suffix;
+    variant.validate();
+    out.push_back(std::move(variant));
+
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) return out;
+    }
+    if (axes.empty()) return out;
+  }
+}
+
+// -------------------------------------------------------------------- run --
+
+namespace {
+ScenarioSpec apply_overrides(ScenarioSpec spec, const RunOverrides& ov) {
+  if (ov.seed) spec.seed = *ov.seed;
+  if (ov.threads) spec.threads = *ov.threads;
+  if (ov.time_budget) spec.time_budget = *ov.time_budget;
+  return spec;
+}
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOverrides& ov) {
+  ScenarioResult result;
+  result.spec = apply_overrides(spec, ov);
+  result.hash = config_hash(result.spec);
+
+  BuiltScenario built = build(result.spec);
+  for (std::size_t i = 0; i < built.mechanisms.size(); ++i) {
+    MechanismResult run;
+    run.mechanism = built.mechanism_names[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    run.metrics = built.mechanisms[i]->run(built.cfg);
+    run.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+ThreadSweepResult run_thread_sweep(const ScenarioSpec& spec,
+                                   const std::vector<std::size_t>& threads,
+                                   const RunOverrides& ov) {
+  if (threads.empty())
+    throw std::invalid_argument("thread sweep: need at least one lane count");
+
+  ThreadSweepResult sweep;
+  for (std::size_t t : threads) {
+    RunOverrides o = ov;
+    o.threads = t;
+    ScenarioResult r = run_scenario(spec, o);
+    const bool is_baseline = sweep.by_threads.empty();
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+      const bool same =
+          is_baseline ||
+          sweep.by_threads.front().runs[i].metrics.bit_identical(r.runs[i].metrics);
+      r.runs[i].bit_identical = same;
+      sweep.all_identical = sweep.all_identical && same;
+    }
+    sweep.by_threads.push_back(std::move(r));
+  }
+  return sweep;
+}
+
+// ----------------------------------------------------------------- export --
+
+std::string git_version() {
+  FILE* pipe = ::popen("git describe --always --dirty --tags 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+namespace {
+std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_' && c != '.')
+      c = '_';
+  return s;
+}
+}  // namespace
+
+Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
+                   const std::string& git, const std::string& points_csv) {
+  const fl::Metrics& m = run.metrics;
+  const fl::EngineStats& es = m.engine_stats();
+
+  Json rec = Json::object();
+  rec.set("scenario", scenario.spec.name);
+  rec.set("config_hash", scenario.hash);
+  rec.set("git", git);
+  rec.set("mechanism", run.mechanism);
+  rec.set("seed", scenario.spec.seed);
+  rec.set("threads", scenario.spec.threads);
+  rec.set("digest", m.digest());
+  if (run.bit_identical) rec.set("bit_identical", Json(*run.bit_identical));
+  rec.set("rounds", m.total_rounds());
+  rec.set("virtual_seconds", m.total_time());
+  rec.set("final_accuracy", m.final_accuracy());
+  rec.set("final_loss", m.final_loss());
+  rec.set("total_energy_joules", m.total_energy());
+  rec.set("average_round_seconds", m.average_round_time());
+  rec.set("max_staleness", m.max_staleness());
+  rec.set("wall_seconds", run.wall_seconds);
+
+  Json engine = Json::object();
+  engine.set("barrier_seconds", es.barrier_seconds);
+  engine.set("eval_seconds", es.eval_seconds);
+  engine.set("barriers", es.barriers);
+  engine.set("evals", es.evals);
+  rec.set("engine_stats", std::move(engine));
+
+  rec.set("points_csv", points_csv);
+  return rec;
+}
+
+void write_results(const std::string& out_dir, const std::vector<ScenarioResult>& results,
+                   const std::string& git) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(out_dir) / "points", ec);
+  if (ec)
+    throw std::runtime_error("write_results: cannot create output directory " + out_dir + ": " +
+                             ec.message());
+
+  const std::string jsonl_path = out_dir + "/results.jsonl";
+  std::ofstream jsonl(jsonl_path, std::ios::app);
+  if (!jsonl) throw std::runtime_error("write_results: cannot open " + jsonl_path);
+
+  util::Table summary({"scenario", "mechanism", "seed", "threads", "config_hash", "git", "digest",
+                       "bit_identical", "rounds", "virtual_s", "final_acc", "final_loss",
+                       "energy_J", "wall_s"});
+
+  for (const auto& scenario : results) {
+    for (const auto& run : scenario.runs) {
+      const std::string points_csv =
+          out_dir + "/points/" + sanitize(scenario.spec.name) + "_" + sanitize(run.mechanism) +
+          "_t" + std::to_string(scenario.spec.threads) + ".csv";
+      run.metrics.write_csv(points_csv);
+      jsonl << result_record(scenario, run, git, points_csv).dump() << '\n';
+
+      summary.add_row({scenario.spec.name, run.mechanism, std::to_string(scenario.spec.seed),
+                       std::to_string(scenario.spec.threads), scenario.hash, git,
+                       run.metrics.digest(),
+                       run.bit_identical ? (*run.bit_identical ? "true" : "false") : "",
+                       std::to_string(run.metrics.total_rounds()),
+                       util::Table::fmt(run.metrics.total_time(), 0),
+                       util::Table::fmt(run.metrics.final_accuracy(), 4),
+                       util::Table::fmt(run.metrics.final_loss(), 4),
+                       util::Table::fmt(run.metrics.total_energy(), 0),
+                       util::Table::fmt(run.wall_seconds, 2)});
+    }
+  }
+  if (!jsonl.flush())
+    throw std::runtime_error("write_results: failed writing " + jsonl_path);
+  summary.write_csv(out_dir + "/summary.csv");
+}
+
+}  // namespace airfedga::scenario

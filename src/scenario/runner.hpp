@@ -1,0 +1,96 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/metrics.hpp"
+#include "scenario/json.hpp"
+#include "scenario/spec.hpp"
+
+namespace airfedga::scenario {
+
+/// CLI-level overrides applied to a spec before running (seed, lane count,
+/// virtual-time budget). Absent fields leave the spec untouched.
+struct RunOverrides {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> threads;
+  std::optional<double> time_budget;
+};
+
+/// One sweep axis: a dotted path into the spec's JSON form plus the values
+/// to grid over (e.g. {"mechanisms.0.xi", [0, 0.1, 0.3]}).
+struct SweepAxis {
+  std::string path;
+  std::vector<Json> values;
+};
+
+/// Sets `value` at a dotted `path` inside `root` ("run.seed",
+/// "mechanisms.0.xi"; integer segments index arrays). Throws
+/// std::invalid_argument naming the failing segment when the path does not
+/// resolve — creating new keys is deliberately not allowed, so a typo
+/// cannot silently add an ignored knob (from_json would also reject it).
+void json_set_path(Json& root, const std::string& path, Json value);
+
+/// Cartesian product of `axes` applied to `base`: every combination yields
+/// one variant spec (validated). With no axes, returns just `base`. The
+/// returned specs carry a "name" suffixed with the swept assignments
+/// (e.g. "fig08_xi_sweep@mechanisms.0.xi=0.1").
+std::vector<ScenarioSpec> expand_sweeps(const ScenarioSpec& base,
+                                        const std::vector<SweepAxis>& axes);
+
+/// Result of running one mechanism of one scenario variant.
+struct MechanismResult {
+  std::string mechanism;     ///< display name ("Air-FedGA", ...)
+  fl::Metrics metrics;       ///< full recorded series
+  double wall_seconds = 0.0; ///< real time the run took
+  /// True when a multi-lane-count check ran and this run matched the
+  /// first lane count bit for bit; unset (empty) otherwise.
+  std::optional<bool> bit_identical;
+};
+
+/// All mechanism runs of one scenario variant.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::string hash;  ///< config_hash(spec)
+  std::vector<MechanismResult> runs;
+};
+
+/// Runs every mechanism of `spec` (after applying `ov`) serially on the
+/// configured lane count and returns the per-mechanism results.
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOverrides& ov = {});
+
+/// Determinism sweep: runs `spec` once per lane count in `threads` and
+/// checks every mechanism's metrics are bit-identical across lane counts
+/// (the execution engine's contract). Each returned ScenarioResult is one
+/// lane count, with `bit_identical` set on every run (the first lane count
+/// is the baseline and reports true). `all_identical` is the conjunction.
+struct ThreadSweepResult {
+  std::vector<ScenarioResult> by_threads;
+  bool all_identical = true;
+};
+ThreadSweepResult run_thread_sweep(const ScenarioSpec& spec,
+                                   const std::vector<std::size_t>& threads,
+                                   const RunOverrides& ov = {});
+
+/// `git describe --always --dirty --tags` of the working tree, or
+/// "unknown" when git or the repository is unavailable.
+std::string git_version();
+
+/// Writes structured results under `out_dir` (created if missing):
+///   results.jsonl  — one JSON object per (variant, mechanism) run:
+///                    scenario, config_hash, git, mechanism, seed, threads,
+///                    digest, bit_identical, summary metrics, EngineStats,
+///                    and the path of the per-run points CSV
+///   summary.csv    — the same summary rows as CSV
+///   points/<scenario>_<mechanism>_t<threads>.csv — full metric series
+/// `results.jsonl` is appended to (a sweep session accumulates), the
+/// others are rewritten per call.
+void write_results(const std::string& out_dir, const std::vector<ScenarioResult>& results,
+                   const std::string& git);
+
+/// The JSONL record for one run (exposed for tests and the CLI summary).
+Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
+                   const std::string& git, const std::string& points_csv);
+
+}  // namespace airfedga::scenario

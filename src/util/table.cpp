@@ -1,5 +1,6 @@
 #include "util/table.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -46,8 +47,16 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::write_csv(const std::string& path) const {
+  const auto parent = std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  if (ec)
+    throw std::runtime_error("Table::write_csv: cannot create directory " + parent.string() +
+                             ": " + ec.message());
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("Table: cannot open " + path);
+  if (!f)
+    throw std::runtime_error("Table::write_csv: cannot open " + path +
+                             " for writing (check permissions and that the parent is a directory)");
   auto esc = [](const std::string& s) {
     if (s.find(',') == std::string::npos) return s;
     return "\"" + s + "\"";

@@ -1,0 +1,170 @@
+// Tests for the scenario layer's strict JSON parser/writer: malformed
+// input (with line/column reporting), escapes, nesting, number edge cases,
+// and dump -> parse round-trip fidelity.
+
+#include "scenario/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace airfedga::scenario {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.25").as_number(), -3.25);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(Json::parse("  17  ").as_number(), 17.0);  // surrounding whitespace
+}
+
+TEST(JsonParse, NumberEdgeCases) {
+  EXPECT_DOUBLE_EQ(Json::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0").as_number(), -0.0);
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1E+3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-2").as_number(), 0.025);
+  EXPECT_DOUBLE_EQ(Json::parse("9007199254740991").as_number(), 9007199254740991.0);
+
+  EXPECT_THROW(Json::parse("01"), JsonError);      // leading zero
+  EXPECT_THROW(Json::parse("-01"), JsonError);
+  EXPECT_THROW(Json::parse("1."), JsonError);      // digits required after '.'
+  EXPECT_THROW(Json::parse(".5"), JsonError);      // leading digit required
+  EXPECT_THROW(Json::parse("1e"), JsonError);      // exponent digits required
+  EXPECT_THROW(Json::parse("+1"), JsonError);      // no leading plus
+  EXPECT_THROW(Json::parse("NaN"), JsonError);
+  EXPECT_THROW(Json::parse("Infinity"), JsonError);
+  EXPECT_THROW(Json::parse("1e999"), JsonError);   // out of double range
+}
+
+TEST(JsonParse, StringsAndEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(Json::parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(Json::parse(R"("a\/b")").as_string(), "a/b");
+  EXPECT_EQ(Json::parse(R"("\b\f\n\r\t")").as_string(), "\b\f\n\r\t");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");          // é, 2-byte UTF-8
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");      // €, 3-byte
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),                 // 😀 surrogate pair
+            "\xf0\x9f\x98\x80");
+
+  EXPECT_THROW(Json::parse(R"("\x41")"), JsonError);        // invalid escape
+  EXPECT_THROW(Json::parse(R"("\u12")"), JsonError);        // short hex
+  EXPECT_THROW(Json::parse(R"("\u12zz")"), JsonError);      // bad hex digit
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);      // lone high surrogate
+  EXPECT_THROW(Json::parse(R"("\ude00")"), JsonError);      // lone low surrogate
+  EXPECT_THROW(Json::parse(R"("\ud83dA")"), JsonError);  // bad pair
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("\"ctrl\nchar\""), JsonError);   // unescaped control char
+}
+
+TEST(JsonParse, NestingAndStructure) {
+  const Json j = Json::parse(R"({
+    "a": [1, 2, {"b": [true, null]}],
+    "c": {"d": {"e": "deep"}}
+  })");
+  EXPECT_EQ(j.as_object().size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(j.at("a").as_array()[2].at("b").as_array()[0].as_bool());
+  EXPECT_EQ(j.at("c").at("d").at("e").as_string(), "deep");
+
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+
+  // Deep nesting is bounded, not a stack overflow.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(JsonParse, MalformedStructure) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("   "), JsonError);
+  EXPECT_THROW(Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW(Json::parse("[1, 2,]"), JsonError);      // trailing comma
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);    // missing colon
+  EXPECT_THROW(Json::parse("{a: 1}"), JsonError);       // unquoted key
+  EXPECT_THROW(Json::parse("[1] tail"), JsonError);     // trailing garbage
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1, \"a\":2}"), JsonError);  // duplicate key
+  EXPECT_THROW(Json::parse("// comment\n1"), JsonError);
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": 1,\n  \"b\": @\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 8u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("column 8"), std::string::npos);
+  }
+
+  try {
+    Json::parse("{\"a\": 1, \"a\": 2}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key \"a\""), std::string::npos);
+  }
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  const Json j = Json::parse(R"({"a":[1,true,"x"],"b":null})");
+  EXPECT_EQ(j.dump(), R"({"a":[1,true,"x"],"b":null})");
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": [\n    1,"), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);  // pretty print re-parses to the same value
+}
+
+TEST(JsonDump, StringEscaping) {
+  Json j = Json::object();
+  j.set("k", std::string("a\"b\\c\nd\te\x01"));
+  const std::string out = j.dump();
+  EXPECT_EQ(out, "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+  EXPECT_EQ(Json::parse(out), j);
+}
+
+TEST(JsonDump, NumberRoundTrip) {
+  // Doubles survive dump -> parse exactly (shortest round-trip printing).
+  for (double v : {0.1, 1.0 / 3.0, 6.02e23, 71.4e-6, -0.30000000000000004,
+                   9007199254740991.0, 1e-300}) {
+    const Json j(v);
+    EXPECT_DOUBLE_EQ(Json::parse(j.dump()).as_number(), v) << j.dump();
+  }
+  // Integer-valued doubles print as integers.
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-7.0).dump(), "-7");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+}
+
+TEST(JsonValue, ConstructionAndAccess) {
+  Json obj = Json::object();
+  obj.set("n", 1.5);
+  obj.set("s", "text");
+  obj.set("n", 2.5);  // set replaces
+  EXPECT_DOUBLE_EQ(obj.at("n").as_number(), 2.5);
+  EXPECT_TRUE(obj.contains("s"));
+  EXPECT_FALSE(obj.contains("missing"));
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(static_cast<void>(obj.at("missing")), std::runtime_error);
+
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.as_array().size(), 2u);
+
+  EXPECT_THROW(static_cast<void>(arr.as_object()), std::runtime_error);  // names both types
+  EXPECT_THROW(static_cast<void>(obj.as_number()), std::runtime_error);
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airfedga::scenario

@@ -1,0 +1,314 @@
+// airfedga — unified scenario CLI.
+//
+// Runs declarative experiment scenarios (JSON specs or registered presets)
+// through the full mechanism stack and writes structured results (JSONL +
+// CSV, with config hash, git describe, engine stats, and the bit-identical
+// metrics digest). See docs/SCENARIOS.md for the spec schema.
+//
+//   airfedga_cli run <scenario.json|preset|->  [--seed=S] [--threads=T[,T2,...]]
+//                                              [--time-budget=X]
+//                                              [--sweep path=v1,v2,...]... [--out=DIR]
+//   airfedga_cli list
+//   airfedga_cli validate <scenario.json|->
+//   airfedga_cli dump <preset>
+//
+// `run -` / `validate -` read the scenario JSON from stdin, so
+//   airfedga_cli dump fig04_cnn_mnist | airfedga_cli run -
+// reproduces the fig04 bench's metrics digests exactly (equal seeds and
+// threads). A multi-valued --threads list switches run into the engine
+// determinism sweep: every lane count must produce bit-identical metrics,
+// and a divergence exits nonzero.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace airfedga;
+
+constexpr const char* kUsage = R"(airfedga_cli — declarative Air-FedGA scenario runner
+
+usage:
+  airfedga_cli run <scenario.json|preset|->  [options]   run a scenario
+  airfedga_cli list                                      list registered presets
+  airfedga_cli validate <scenario.json|->                check a spec, report all problems
+  airfedga_cli dump <preset>                             print a preset's JSON to stdout
+  airfedga_cli --help
+
+run options:
+  --seed=S               override run.seed
+  --threads=T[,T2,...]   override run.threads; a list runs every lane count and
+                         verifies bit-identical metrics (exit 1 on divergence)
+  --time-budget=X        override run.time_budget (virtual seconds)
+  --sweep path=v1,v2,... grid over a spec field (repeatable; cartesian product),
+                         e.g. --sweep mechanisms.0.xi=0,0.1,0.3 --sweep run.seed=1,2
+  --out=DIR              results directory (default: scenario_results); writes
+                         results.jsonl (appended), summary.csv, points/*.csv
+
+`-` reads the scenario JSON from stdin:
+  airfedga_cli dump fig04_cnn_mnist | airfedga_cli run -
+)";
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "airfedga_cli: %s\n", message.c_str());
+  return 2;
+}
+
+std::string read_stream(std::istream& in) {
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Loads a spec from a preset name, a .json file path, or stdin ("-").
+scenario::ScenarioSpec load_spec(const std::string& source) {
+  if (source == "-") {
+    const std::string text = read_stream(std::cin);
+    if (text.empty()) throw std::invalid_argument("stdin: no scenario JSON on standard input");
+    return scenario::ScenarioSpec::from_json(scenario::Json::parse(text));
+  }
+  if (scenario::has_preset(source)) return scenario::preset(source);
+  std::ifstream f(source);
+  if (!f) {
+    if (source.find('.') == std::string::npos)  // looks like a preset name, not a path
+      throw std::invalid_argument(
+          "no such preset or file \"" + source + "\"; `airfedga_cli list` shows the presets");
+    throw std::invalid_argument("cannot open scenario file \"" + source + "\"");
+  }
+  return scenario::ScenarioSpec::from_json(scenario::Json::parse(read_stream(f)));
+}
+
+/// Splits "a,b,c" (no empty tokens allowed).
+std::vector<std::string> split_list(const std::string& list, const std::string& what) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string tok = list.substr(pos, comma - pos);
+    if (tok.empty())
+      throw std::invalid_argument(what + ": empty element in list \"" + list + "\"");
+    out.push_back(tok);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::size_t parse_count(const std::string& tok, const std::string& what) {
+  // Up to 18 digits: covers every seed the JSON schema itself can carry
+  // (numbers are doubles, exact to 2^53) without overflowing stoull.
+  if (tok.empty() || tok.size() > 18 ||
+      tok.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument(what + ": \"" + tok + "\" is not a non-negative integer");
+  return static_cast<std::size_t>(std::stoull(tok));
+}
+
+/// A sweep value is a JSON scalar: number/bool/null if it parses as one,
+/// a string otherwise (so --sweep partition.kind=iid,dirichlet works).
+scenario::Json parse_sweep_value(const std::string& tok) {
+  try {
+    return scenario::Json::parse(tok);
+  } catch (const scenario::JsonError&) {
+    return scenario::Json(tok);
+  }
+}
+
+struct RunArgs {
+  std::string source;
+  scenario::RunOverrides overrides;
+  std::vector<std::size_t> threads;  // >1 entries = determinism sweep
+  std::vector<scenario::SweepAxis> sweeps;
+  std::string out_dir = "scenario_results";
+};
+
+RunArgs parse_run_args(const std::vector<std::string>& args) {
+  RunArgs out;
+  for (const auto& arg : args) {
+    if (arg.rfind("--seed=", 0) == 0) {
+      out.overrides.seed = parse_count(arg.substr(7), "--seed");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      for (const auto& tok : split_list(arg.substr(10), "--threads")) {
+        const std::size_t v = parse_count(tok, "--threads");
+        if (v == 0) throw std::invalid_argument("--threads: lane counts must be >= 1");
+        if (std::find(out.threads.begin(), out.threads.end(), v) == out.threads.end())
+          out.threads.push_back(v);
+      }
+    } else if (arg.rfind("--time-budget=", 0) == 0) {
+      const std::string tok = arg.substr(14);
+      char* end = nullptr;
+      const double v = std::strtod(tok.c_str(), &end);
+      if (tok.empty() || end != tok.c_str() + tok.size() || v <= 0.0)
+        throw std::invalid_argument("--time-budget: \"" + tok + "\" is not a positive number");
+      out.overrides.time_budget = v;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out.out_dir = arg.substr(6);
+      if (out.out_dir.empty()) throw std::invalid_argument("--out: directory must not be empty");
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown option \"" + arg +
+                                  "\" (see airfedga_cli --help)");
+    } else if (out.source.empty()) {
+      out.source = arg;
+    } else {
+      throw std::invalid_argument("unexpected argument \"" + arg + "\"");
+    }
+  }
+  if (out.source.empty())
+    throw std::invalid_argument("run: need a scenario (preset name, file, or `-` for stdin)");
+  return out;
+}
+
+void print_summary(const std::vector<scenario::ScenarioResult>& results) {
+  util::Table t({"scenario", "mechanism", "threads", "rounds", "virtual_s", "final_acc",
+                 "digest", "bit_identical", "wall_s"});
+  for (const auto& scenario : results) {
+    for (const auto& run : scenario.runs) {
+      t.add_row({scenario.spec.name, run.mechanism, std::to_string(scenario.spec.threads),
+                 std::to_string(run.metrics.total_rounds()),
+                 util::Table::fmt(run.metrics.total_time(), 0),
+                 util::Table::fmt(run.metrics.final_accuracy(), 4), run.metrics.digest(),
+                 run.bit_identical ? (*run.bit_identical ? "yes" : "NO") : "-",
+                 util::Table::fmt(run.wall_seconds, 2)});
+    }
+  }
+  t.print(std::cout);
+}
+
+int cmd_run(const RunArgs& ra) {
+  scenario::ScenarioSpec spec = load_spec(ra.source);
+  spec.validate();
+
+  const std::vector<scenario::ScenarioSpec> variants = expand_sweeps(spec, ra.sweeps);
+
+  std::vector<scenario::ScenarioResult> results;
+  bool all_identical = true;
+  for (const auto& variant : variants) {
+    if (ra.threads.size() > 1) {
+      auto sweep = scenario::run_thread_sweep(variant, ra.threads, ra.overrides);
+      all_identical = all_identical && sweep.all_identical;
+      for (auto& r : sweep.by_threads) results.push_back(std::move(r));
+    } else {
+      scenario::RunOverrides ov = ra.overrides;
+      if (ra.threads.size() == 1) ov.threads = ra.threads.front();
+      results.push_back(scenario::run_scenario(variant, ov));
+    }
+  }
+
+  const std::string git = scenario::git_version();
+  scenario::write_results(ra.out_dir, results, git);
+  print_summary(results);
+  std::printf("\nwrote %s/results.jsonl, %s/summary.csv (git %s)\n", ra.out_dir.c_str(),
+              ra.out_dir.c_str(), git.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_list() {
+  util::Table t({"preset", "workers", "mechanisms", "description"});
+  for (const auto& name : scenario::preset_names()) {
+    const auto& s = scenario::preset(name);
+    std::string mechs;
+    for (std::size_t i = 0; i < s.mechanisms.size(); ++i)
+      mechs += (i ? "+" : "") + s.mechanisms[i].kind;
+    t.add_row({name, std::to_string(s.partition.workers), mechs, s.description});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_validate(const std::string& source) {
+  try {
+    scenario::ScenarioSpec spec = load_spec(source);
+    spec.validate();
+    scenario::build(spec);  // also exercises dataset/model/partition construction
+    std::printf("%s: OK (%zu workers, %zu mechanism(s), config hash %s)\n", source.c_str(),
+                spec.partition.workers, spec.mechanisms.size(),
+                scenario::config_hash(spec).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: INVALID — %s\n", source.c_str(), e.what());
+    return 1;
+  }
+}
+
+int cmd_dump(const std::string& name) {
+  // Pure JSON on stdout so the output pipes straight into `run -`.
+  std::printf("%s\n", scenario::preset(name).to_json().dump(2).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    std::printf("%s", kUsage);
+    return args.empty() ? 2 : 0;
+  }
+
+  try {
+    const std::string cmd = args[0];
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+
+    if (cmd == "run") {
+      // `--sweep path=v1,v2` may arrive as one argv element (--sweep=...)
+      // or as two ("--sweep" "path=v1,v2"); normalize both, then hand the
+      // remaining flags to parse_run_args.
+      std::vector<std::string> flat;
+      std::vector<scenario::SweepAxis> sweeps;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == "--sweep" || rest[i].rfind("--sweep=", 0) == 0) {
+          std::string assign;
+          if (rest[i] == "--sweep") {
+            if (i + 1 >= rest.size())
+              return fail("--sweep: expected path=v1,v2,... after it");
+            assign = rest[++i];
+          } else {
+            assign = rest[i].substr(8);
+          }
+          const std::size_t eq = assign.find('=');
+          if (eq == std::string::npos || eq == 0)
+            return fail("--sweep: expected path=v1,v2,..., got \"" + assign + "\"");
+          scenario::SweepAxis axis;
+          axis.path = assign.substr(0, eq);
+          for (const auto& tok : split_list(assign.substr(eq + 1), "--sweep " + axis.path))
+            axis.values.push_back(parse_sweep_value(tok));
+          sweeps.push_back(std::move(axis));
+        } else {
+          flat.push_back(rest[i]);
+        }
+      }
+      RunArgs ra = parse_run_args(flat);
+      ra.sweeps = std::move(sweeps);
+      return cmd_run(ra);
+    }
+    if (cmd == "list") {
+      if (!rest.empty()) return fail("list: takes no arguments");
+      return cmd_list();
+    }
+    if (cmd == "validate") {
+      if (rest.size() != 1) return fail("validate: need exactly one scenario (file or `-`)");
+      return cmd_validate(rest[0]);
+    }
+    if (cmd == "dump") {
+      if (rest.size() != 1) return fail("dump: need exactly one preset name");
+      return cmd_dump(rest[0]);
+    }
+    return fail("unknown command \"" + cmd + "\" (run | list | validate | dump; see --help)");
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
