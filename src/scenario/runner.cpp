@@ -1,14 +1,19 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace airfedga::scenario {
 
@@ -100,12 +105,17 @@ ScenarioSpec apply_overrides(ScenarioSpec spec, const RunOverrides& ov) {
 }
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOverrides& ov) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOverrides& ov,
+                            std::size_t lane_override) {
   ScenarioResult result;
   result.spec = apply_overrides(spec, ov);
   result.hash = config_hash(result.spec);
 
   BuiltScenario built = build(result.spec);
+  // Execution-only lane cap (lane budget under --jobs). Results are
+  // bit-identical for every lane count, so the recorded spec keeps the
+  // configured value and only the driver pool shrinks.
+  if (lane_override != 0) built.cfg.threads = lane_override;
   for (std::size_t i = 0; i < built.mechanisms.size(); ++i) {
     MechanismResult run;
     run.mechanism = built.mechanism_names[i];
@@ -141,6 +151,82 @@ ThreadSweepResult run_thread_sweep(const ScenarioSpec& spec,
   return sweep;
 }
 
+BatchRunResult run_scenarios(const std::vector<ScenarioSpec>& variants, const RunOverrides& ov,
+                             const BatchRunOptions& opt) {
+  BatchRunResult out;
+  const std::size_t n = variants.size();
+  if (n == 0) return out;
+
+  const bool sweep_mode = opt.threads.size() > 1;
+  RunOverrides base_ov = ov;
+  if (opt.threads.size() == 1) base_ov.threads = opt.threads.front();
+
+  // More jobs than variants would just idle threads, and more jobs than
+  // budgeted lanes would oversubscribe the machine (each in-flight variant
+  // holds a dataset + scratch-model set and at least one busy lane).
+  const std::size_t budget = opt.lane_budget != 0
+                                 ? opt.lane_budget
+                                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t jobs = std::min({std::max<std::size_t>(1, opt.jobs), n, budget});
+
+  // Each variant fills its own slot; flattening afterwards restores the
+  // deterministic variant order whatever the completion order was. A
+  // determinism sweep yields one result per lane count, so slots are
+  // vectors.
+  std::vector<std::vector<ScenarioResult>> slots(n);
+  std::vector<char> identical(n, 1);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto run_one = [&](std::size_t i) {
+    if (sweep_mode) {
+      // A determinism sweep verifies the engine *at* the requested lane
+      // counts, so the lane budget deliberately does not clamp them.
+      ThreadSweepResult sweep = run_thread_sweep(variants[i], opt.threads, base_ov);
+      identical[i] = sweep.all_identical ? 1 : 0;
+      slots[i] = std::move(sweep.by_threads);
+    } else {
+      const std::size_t requested = base_ov.threads ? *base_ov.threads : variants[i].threads;
+      const std::size_t lanes =
+          jobs > 1 ? util::lane_budget_share(requested, jobs, opt.lane_budget) : 0;
+      slots[i].push_back(run_scenario(variants[i], base_ov, lanes));
+    }
+  };
+
+  auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        run_one(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();  // serial reference schedule: no extra thread at all
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.all_identical = out.all_identical && identical[i] != 0;
+    for (auto& r : slots[i]) out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
 // ----------------------------------------------------------------- export --
 
 std::string git_version() {
@@ -156,20 +242,27 @@ std::string git_version() {
 }
 
 namespace {
+// Filename-safe stem for a scenario/mechanism name. Sweep-suffixed variant
+// names carry '@', '=', '.', and sweep string values may carry anything
+// (including path separators), so only [A-Za-z0-9_-] passes through —
+// everything else becomes '_'. Distinct names can collide after this
+// ("a.b" and "a@b" both map to "a_b"); write_results disambiguates with a
+// deterministic counter suffix.
 std::string sanitize(std::string s) {
   for (char& c : s)
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_' && c != '.')
-      c = '_';
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') c = '_';
   return s;
 }
 }  // namespace
 
 Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
-                   const std::string& git, const std::string& points_csv) {
+                   const std::string& git, const std::string& points_csv,
+                   const WriteOptions& opts) {
   const fl::Metrics& m = run.metrics;
   const fl::EngineStats& es = m.engine_stats();
 
   Json rec = Json::object();
+  rec.set("schema_version", kResultsSchemaVersion);
   rec.set("scenario", scenario.spec.name);
   rec.set("config_hash", scenario.hash);
   rec.set("git", git);
@@ -185,11 +278,13 @@ Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
   rec.set("total_energy_joules", m.total_energy());
   rec.set("average_round_seconds", m.average_round_time());
   rec.set("max_staleness", m.max_staleness());
-  rec.set("wall_seconds", run.wall_seconds);
+  if (opts.timing) rec.set("wall_seconds", run.wall_seconds);
 
   Json engine = Json::object();
-  engine.set("barrier_seconds", es.barrier_seconds);
-  engine.set("eval_seconds", es.eval_seconds);
+  if (opts.timing) {
+    engine.set("barrier_seconds", es.barrier_seconds);
+    engine.set("eval_seconds", es.eval_seconds);
+  }
   engine.set("barriers", es.barriers);
   engine.set("evals", es.evals);
   rec.set("engine_stats", std::move(engine));
@@ -199,45 +294,67 @@ Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
 }
 
 void write_results(const std::string& out_dir, const std::vector<ScenarioResult>& results,
-                   const std::string& git) {
+                   const std::string& git, const WriteOptions& opts) {
   namespace fs = std::filesystem;
   std::error_code ec;
+  // Fresh mode replaces the whole result set: stale points files from an
+  // earlier invocation would otherwise survive the row-file truncation and
+  // desynchronize anything that globs points/*.csv.
+  if (!opts.append) fs::remove_all(fs::path(out_dir) / "points", ec);
   fs::create_directories(fs::path(out_dir) / "points", ec);
   if (ec)
     throw std::runtime_error("write_results: cannot create output directory " + out_dir + ": " +
                              ec.message());
 
   const std::string jsonl_path = out_dir + "/results.jsonl";
-  std::ofstream jsonl(jsonl_path, std::ios::app);
+  std::ofstream jsonl(jsonl_path, opts.append ? std::ios::app : std::ios::trunc);
   if (!jsonl) throw std::runtime_error("write_results: cannot open " + jsonl_path);
 
-  util::Table summary({"scenario", "mechanism", "seed", "threads", "config_hash", "git", "digest",
-                       "bit_identical", "rounds", "virtual_s", "final_acc", "final_loss",
-                       "energy_J", "wall_s"});
+  std::vector<std::string> columns = {"schema_version", "scenario",   "mechanism", "seed",
+                                      "threads",        "config_hash", "git",      "digest",
+                                      "bit_identical",  "rounds",      "virtual_s", "final_acc",
+                                      "final_loss",     "energy_J"};
+  if (opts.timing) columns.push_back("wall_s");
+  util::Table summary(columns);
+
+  // Sanitized points stems can collide across distinct run identities
+  // (sanitize is lossy). Count identities per stem in deterministic result
+  // order and suffix repeats, so every run keeps its own series file.
+  std::unordered_map<std::string, std::size_t> stem_uses;
 
   for (const auto& scenario : results) {
     for (const auto& run : scenario.runs) {
-      const std::string points_csv =
-          out_dir + "/points/" + sanitize(scenario.spec.name) + "_" + sanitize(run.mechanism) +
-          "_t" + std::to_string(scenario.spec.threads) + ".csv";
-      run.metrics.write_csv(points_csv);
-      jsonl << result_record(scenario, run, git, points_csv).dump() << '\n';
+      std::string stem = sanitize(scenario.spec.name) + "_" + sanitize(run.mechanism) + "_t" +
+                         std::to_string(scenario.spec.threads);
+      const std::size_t uses = ++stem_uses[stem];
+      if (uses > 1) {
+        stem.push_back('_');
+        stem.append(std::to_string(uses));
+      }
+      // Recorded relative to out_dir, so result directories are relocatable
+      // and the JSONL is byte-identical wherever --out points.
+      const std::string points_csv = "points/" + stem + ".csv";
+      run.metrics.write_csv(out_dir + "/" + points_csv);
+      jsonl << result_record(scenario, run, git, points_csv, opts).dump() << '\n';
 
-      summary.add_row({scenario.spec.name, run.mechanism, std::to_string(scenario.spec.seed),
-                       std::to_string(scenario.spec.threads), scenario.hash, git,
-                       run.metrics.digest(),
-                       run.bit_identical ? (*run.bit_identical ? "true" : "false") : "",
-                       std::to_string(run.metrics.total_rounds()),
-                       util::Table::fmt(run.metrics.total_time(), 0),
-                       util::Table::fmt(run.metrics.final_accuracy(), 4),
-                       util::Table::fmt(run.metrics.final_loss(), 4),
-                       util::Table::fmt(run.metrics.total_energy(), 0),
-                       util::Table::fmt(run.wall_seconds, 2)});
+      std::vector<std::string> row = {std::to_string(kResultsSchemaVersion), scenario.spec.name,
+                                      run.mechanism, std::to_string(scenario.spec.seed),
+                                      std::to_string(scenario.spec.threads), scenario.hash, git,
+                                      run.metrics.digest(),
+                                      run.bit_identical ? (*run.bit_identical ? "true" : "false")
+                                                        : "",
+                                      std::to_string(run.metrics.total_rounds()),
+                                      util::Table::fmt(run.metrics.total_time(), 0),
+                                      util::Table::fmt(run.metrics.final_accuracy(), 4),
+                                      util::Table::fmt(run.metrics.final_loss(), 4),
+                                      util::Table::fmt(run.metrics.total_energy(), 0)};
+      if (opts.timing) row.push_back(util::Table::fmt(run.wall_seconds, 2));
+      summary.add_row(std::move(row));
     }
   }
   if (!jsonl.flush())
     throw std::runtime_error("write_results: failed writing " + jsonl_path);
-  summary.write_csv(out_dir + "/summary.csv");
+  summary.write_csv(out_dir + "/summary.csv", opts.append);
 }
 
 }  // namespace airfedga::scenario

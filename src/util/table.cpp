@@ -46,23 +46,32 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-void Table::write_csv(const std::string& path) const {
+void Table::write_csv(const std::string& path, bool append) const {
   const auto parent = std::filesystem::path(path).parent_path();
   std::error_code ec;
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
   if (ec)
     throw std::runtime_error("Table::write_csv: cannot create directory " + parent.string() +
                              ": " + ec.message());
-  std::ofstream f(path);
+  const bool header = !append || !std::filesystem::exists(path) ||
+                      std::filesystem::file_size(path, ec) == 0;
+  std::ofstream f(path, append ? std::ios::app : std::ios::trunc);
   if (!f)
     throw std::runtime_error("Table::write_csv: cannot open " + path +
                              " for writing (check permissions and that the parent is a directory)");
   auto esc = [](const std::string& s) {
-    if (s.find(',') == std::string::npos) return s;
-    return "\"" + s + "\"";
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      quoted += c;
+      if (c == '"') quoted += c;  // RFC 4180: embedded quotes double
+    }
+    quoted += '"';
+    return quoted;
   };
-  for (std::size_t c = 0; c < headers_.size(); ++c)
-    f << esc(headers_[c]) << (c + 1 < headers_.size() ? "," : "\n");
+  if (header)
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      f << esc(headers_[c]) << (c + 1 < headers_.size() ? "," : "\n");
   for (const auto& row : rows_)
     for (std::size_t c = 0; c < row.size(); ++c)
       f << esc(row[c]) << (c + 1 < row.size() ? "," : "\n");

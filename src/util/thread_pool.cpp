@@ -132,4 +132,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
   global_pool().parallel_for(n, fn, grain);
 }
 
+std::size_t lane_budget_share(std::size_t requested, std::size_t jobs, std::size_t budget) {
+  if (budget == 0) budget = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (jobs == 0) jobs = 1;
+  const std::size_t share = std::max<std::size_t>(1, budget / jobs);
+  return requested == 0 ? share : std::min(requested, share);
+}
+
 }  // namespace airfedga::util

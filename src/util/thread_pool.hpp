@@ -152,6 +152,24 @@ class ThreadPool {
 /// calling thread). Thread-safe to call from anywhere after static init.
 ThreadPool& global_pool();
 
+/// \brief Lane-budget rule for running several independent drivers at once.
+///
+/// When `jobs` independent runs execute concurrently (the scenario runner's
+/// `--jobs` mode), each run owns a private training-lane pool. Sizing every
+/// pool to the full machine would oversubscribe it `jobs`-fold, so each run
+/// gets an equal share of a global lane budget instead:
+///
+///   share = max(1, budget / jobs), clamped to `requested` when the run
+///   asked for fewer lanes than its share.
+///
+/// `budget` 0 means the hardware concurrency; `requested` 0 means "as many
+/// as allowed" (the FLConfig::threads convention). Every job always gets at
+/// least one lane, so callers should cap `jobs` at the budget rather than
+/// rely on this function to serialize excess jobs. Because the execution
+/// engine is bit-deterministic for every lane count, clamping a run's lanes
+/// never changes its results — only its wall time.
+std::size_t lane_budget_share(std::size_t requested, std::size_t jobs, std::size_t budget = 0);
+
 /// Convenience wrapper over global_pool().parallel_for.
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t grain = 1024);

@@ -39,9 +39,14 @@ ScenarioSpec tiny_spec() {
 }
 
 struct TempDir {
+  static std::size_t next_id() {
+    static std::size_t id = 0;
+    return id++;  // distinct directory per instance, not just per process
+  }
   fs::path path;
-  TempDir() : path(fs::temp_directory_path() / ("airfedga_runner_test_" +
-                                                std::to_string(::getpid()))) {
+  TempDir() : path(fs::temp_directory_path() /
+                   ("airfedga_runner_test_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(next_id()))) {
     fs::remove_all(path);
   }
   ~TempDir() { fs::remove_all(path); }
@@ -130,6 +135,21 @@ TEST(Runner, ThreadSweepIsBitIdenticalAcrossLaneCounts) {
   EXPECT_NE(r.runs[0].metrics.digest(), sweep.by_threads[0].runs[0].metrics.digest());
 }
 
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_lines(const fs::path& p) {
+  std::ifstream f(p);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(f, line)) ++n;
+  return n;
+}
+
 TEST(Runner, WriteResultsEmitsJsonlSummaryAndPoints) {
   TempDir tmp;
   const ScenarioResult r = run_scenario(tiny_spec());
@@ -143,24 +163,169 @@ TEST(Runner, WriteResultsEmitsJsonlSummaryAndPoints) {
   while (std::getline(jsonl, line)) {
     ++lines;
     const Json rec = Json::parse(line);
+    EXPECT_EQ(rec.at("schema_version").as_number(), kResultsSchemaVersion);
     EXPECT_EQ(rec.at("scenario").as_string(), "tiny");
     EXPECT_EQ(rec.at("git").as_string(), "v-test");
     EXPECT_EQ(rec.at("config_hash").as_string(), r.hash);
     EXPECT_EQ(rec.at("digest").as_string().size(), 16u);
     EXPECT_GT(rec.at("rounds").as_number(), 0.0);
     EXPECT_TRUE(rec.at("engine_stats").is_object());
-    EXPECT_TRUE(fs::exists(rec.at("points_csv").as_string()));
+    EXPECT_GT(rec.at("wall_seconds").as_number(), 0.0);  // timing on by default
+    // points_csv is out_dir-relative, so result directories are relocatable.
+    EXPECT_TRUE(fs::exists(tmp.path / rec.at("points_csv").as_string()));
   }
   EXPECT_EQ(lines, 1u);
 
   EXPECT_TRUE(fs::exists(tmp.path / "summary.csv"));
+}
 
-  // JSONL appends across calls (a sweep session accumulates records).
+TEST(Runner, WriteResultsIsFreshByDefaultAndAppendsOnRequest) {
+  TempDir tmp;
+  const ScenarioResult r = run_scenario(tiny_spec());
+
+  // Default: every invocation replaces both row files, so they always
+  // describe the same set of runs (the old behavior appended the JSONL but
+  // rewrote the CSV — after two runs the files disagreed).
   write_results(tmp.path.string(), {r}, "v-test");
-  std::ifstream again(tmp.path / "results.jsonl");
-  lines = 0;
-  while (std::getline(again, line)) ++lines;
-  EXPECT_EQ(lines, 2u);
+  write_results(tmp.path.string(), {r}, "v-test");
+  EXPECT_EQ(count_lines(tmp.path / "results.jsonl"), 1u);
+  EXPECT_EQ(count_lines(tmp.path / "summary.csv"), 2u);  // header + row
+
+  // Fresh mode also clears stale points files: after rewriting under a new
+  // scenario name, the old name's series must not linger in points/.
+  ScenarioResult renamed = r;
+  renamed.spec.name = "tiny_renamed";
+  write_results(tmp.path.string(), {renamed}, "v-test");
+  std::size_t points_files = 0;
+  for (const auto& e : fs::directory_iterator(tmp.path / "points")) {
+    ++points_files;
+    EXPECT_NE(e.path().filename().string().find("tiny_renamed"), std::string::npos);
+  }
+  EXPECT_EQ(points_files, 1u);
+
+  // Explicit append: both files accumulate in lockstep, one header total,
+  // and points files persist.
+  WriteOptions app;
+  app.append = true;
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  EXPECT_EQ(count_lines(tmp.path / "results.jsonl"), 3u);
+  EXPECT_EQ(count_lines(tmp.path / "summary.csv"), 4u);  // header + 3 rows
+  EXPECT_TRUE(fs::exists(tmp.path / "points" / "tiny_Air-FedGA_t1.csv"));
+}
+
+TEST(Runner, WriteResultsWithoutTimingOmitsWallClockFields) {
+  TempDir tmp;
+  const ScenarioResult r = run_scenario(tiny_spec());
+  WriteOptions wo;
+  wo.timing = false;
+  write_results(tmp.path.string(), {r}, "v-test", wo);
+
+  std::ifstream jsonl(tmp.path / "results.jsonl");
+  std::string line;
+  ASSERT_TRUE(std::getline(jsonl, line));
+  const Json rec = Json::parse(line);
+  EXPECT_FALSE(rec.contains("wall_seconds"));
+  EXPECT_FALSE(rec.at("engine_stats").contains("barrier_seconds"));
+  EXPECT_FALSE(rec.at("engine_stats").contains("eval_seconds"));
+  // Deterministic engine counters stay.
+  EXPECT_TRUE(rec.at("engine_stats").contains("barriers"));
+  EXPECT_TRUE(rec.at("engine_stats").contains("evals"));
+  // The summary drops its wall_s column too.
+  const std::string header = slurp(tmp.path / "summary.csv").substr(0, 200);
+  EXPECT_EQ(header.find("wall_s"), std::string::npos);
+}
+
+TEST(Runner, SanitizedPointsStemsDisambiguateCollisions) {
+  TempDir tmp;
+  ScenarioResult a = run_scenario(tiny_spec());
+  ScenarioResult b = a;
+  // Distinct sweep-suffixed names that sanitize to the same stem.
+  a.spec.name = "s@mechanisms.0.xi=0.1";
+  b.spec.name = "s_mechanisms_0_xi_0_1";
+  write_results(tmp.path.string(), {a, b}, "v-test");
+
+  std::ifstream jsonl(tmp.path / "results.jsonl");
+  std::string l1;
+  std::string l2;
+  ASSERT_TRUE(std::getline(jsonl, l1));
+  ASSERT_TRUE(std::getline(jsonl, l2));
+  const std::string p1 = Json::parse(l1).at("points_csv").as_string();
+  const std::string p2 = Json::parse(l2).at("points_csv").as_string();
+  EXPECT_NE(p1, p2);  // the collision check kept the series apart
+  EXPECT_TRUE(fs::exists(tmp.path / p1));
+  EXPECT_TRUE(fs::exists(tmp.path / p2));
+  // No path escapes the points directory, whatever the scenario name held:
+  // the stem has no separator of its own after sanitization.
+  EXPECT_EQ(p1.rfind("points/", 0), 0u);
+  EXPECT_EQ(p2.rfind("points/", 0), 0u);
+  EXPECT_EQ(p1.find('/', 7), std::string::npos);
+  EXPECT_EQ(p2.find('/', 7), std::string::npos);
+}
+
+TEST(Runner, BatchRunMatchesSerialByteForByte) {
+  // The --jobs acceptance check, library-level: a reduced-budget sweep run
+  // with jobs=4 must export byte-identical results.jsonl and summary.csv
+  // to jobs=1 (timing off — wall clock is inherently non-deterministic).
+  const ScenarioSpec base = tiny_spec();
+  const std::vector<SweepAxis> axes = {{"run.seed", {Json(1), Json(2), Json(3), Json(4)}}};
+  const std::vector<ScenarioSpec> variants = expand_sweeps(base, axes);
+
+  WriteOptions wo;
+  wo.timing = false;
+
+  TempDir serial_tmp;
+  BatchRunOptions serial;
+  serial.jobs = 1;
+  const BatchRunResult r1 = run_scenarios(variants, {}, serial);
+  ASSERT_EQ(r1.results.size(), 4u);
+  write_results(serial_tmp.path.string(), r1.results, "v-test", wo);
+
+  TempDir jobs_tmp;
+  BatchRunOptions parallel;
+  parallel.jobs = 4;
+  // Explicit budget so all four jobs really run concurrently (one lane
+  // each) even on a single-core machine, where the default budget would
+  // clamp jobs back to 1 and the test would silently re-run serially.
+  parallel.lane_budget = 4;
+  const BatchRunResult r4 = run_scenarios(variants, {}, parallel);
+  ASSERT_EQ(r4.results.size(), 4u);
+  write_results(jobs_tmp.path.string(), r4.results, "v-test", wo);
+
+  // Variant order is deterministic regardless of completion order.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(r1.results[i].spec.name, r4.results[i].spec.name);
+  EXPECT_EQ(slurp(serial_tmp.path / "results.jsonl"), slurp(jobs_tmp.path / "results.jsonl"));
+  EXPECT_EQ(slurp(serial_tmp.path / "summary.csv"), slurp(jobs_tmp.path / "summary.csv"));
+}
+
+TEST(Runner, BatchRunSupportsThreadSweepsAndPropagatesErrors) {
+  // Determinism-sweep mode through the batch API: two variants x two lane
+  // counts, flattened in variant-major order, all bit-identical.
+  const ScenarioSpec base = tiny_spec();
+  const std::vector<ScenarioSpec> variants =
+      expand_sweeps(base, {{"run.seed", {Json(1), Json(2)}}});
+  BatchRunOptions opt;
+  opt.jobs = 2;
+  opt.lane_budget = 2;  // keep both jobs concurrent on a single-core box
+  opt.threads = {1, 2};
+  const BatchRunResult out = run_scenarios(variants, {}, opt);
+  ASSERT_EQ(out.results.size(), 4u);
+  EXPECT_TRUE(out.all_identical);
+  EXPECT_EQ(out.results[0].spec.name, out.results[1].spec.name);
+  EXPECT_EQ(out.results[0].spec.threads, 1u);
+  EXPECT_EQ(out.results[1].spec.threads, 2u);
+  EXPECT_EQ(out.results[2].spec.name, out.results[3].spec.name);
+  for (const auto& result : out.results)
+    for (const auto& run : result.runs) EXPECT_TRUE(run.bit_identical.value_or(false));
+
+  // A failing variant surfaces as an exception, not a silent omission.
+  std::vector<ScenarioSpec> bad = variants;
+  bad[1].eval_samples = 0;  // Driver rejects an empty evaluation set
+  BatchRunOptions jobs2;
+  jobs2.jobs = 2;
+  jobs2.lane_budget = 2;
+  EXPECT_THROW(run_scenarios(bad, {}, jobs2), std::invalid_argument);
 }
 
 TEST(Runner, ResultRecordCarriesBitIdenticalWhenSet) {

@@ -188,6 +188,33 @@ TEST(Table, RejectsRaggedRow) {
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
 }
 
+TEST(Table, CsvEscapesCommasQuotesAndAppends) {
+  // Sweep-suffixed scenario names can carry commas *and* quotes (string
+  // sweep values are dumped as JSON), so cells must be RFC-4180 escaped:
+  // wrapped in quotes with embedded quotes doubled.
+  Table t({"name"});
+  t.add_row({"s@partition.kind=\"a,b\""});
+  const std::string path = testing::TempDir() + "/airfedga_table_esc_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);  // header
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"s@partition.kind=\"\"a,b\"\"\"");
+
+  // Append mode: rows accumulate, header written once.
+  t.write_csv(path, /*append=*/true);
+  std::ifstream again(path);
+  std::size_t lines = 0;
+  std::size_t headers = 0;
+  while (std::getline(again, line)) {
+    ++lines;
+    if (line == "name") ++headers;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+  EXPECT_EQ(headers, 1u);
+}
+
 TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(10000);
@@ -380,6 +407,25 @@ TEST(ThreadPool, PrioritizedSubmitOnZeroWorkerPoolRunsInline) {
 TEST(SplitMix, MixesDistinctInputs) {
   EXPECT_NE(splitmix64(1), splitmix64(2));
   EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(LaneBudgetShare, SplitsBudgetAcrossJobs) {
+  // Explicit budget: each job gets an equal share, floor division.
+  EXPECT_EQ(lane_budget_share(0, 1, 8), 8u);
+  EXPECT_EQ(lane_budget_share(0, 2, 8), 4u);
+  EXPECT_EQ(lane_budget_share(0, 3, 8), 2u);
+  // A job never asks for more than it requested.
+  EXPECT_EQ(lane_budget_share(2, 2, 8), 2u);
+  EXPECT_EQ(lane_budget_share(6, 2, 8), 4u);
+  // Every job always gets at least one lane, even when oversubscribed.
+  EXPECT_EQ(lane_budget_share(0, 16, 4), 1u);
+  EXPECT_EQ(lane_budget_share(1, 1, 4), 1u);
+  // jobs = 0 is treated as one job (degenerate caller input).
+  EXPECT_EQ(lane_budget_share(0, 0, 8), 8u);
+  // budget = 0 resolves to the hardware concurrency; the result is at
+  // least one lane whatever the machine.
+  EXPECT_GE(lane_budget_share(0, 1, 0), 1u);
+  EXPECT_EQ(lane_budget_share(1, 4, 0), 1u);
 }
 
 }  // namespace

@@ -2,12 +2,15 @@
 //
 // Runs declarative experiment scenarios (JSON specs or registered presets)
 // through the full mechanism stack and writes structured results (JSONL +
-// CSV, with config hash, git describe, engine stats, and the bit-identical
-// metrics digest). See docs/SCENARIOS.md for the spec schema.
+// CSV, with schema version, config hash, git describe, engine stats, and
+// the bit-identical metrics digest). See docs/SCENARIOS.md for the spec
+// schema and the scenarios/ study convention.
 //
 //   airfedga_cli run <scenario.json|preset|->  [--seed=S] [--threads=T[,T2,...]]
-//                                              [--time-budget=X]
-//                                              [--sweep path=v1,v2,...]... [--out=DIR]
+//                                              [--time-budget=X] [--jobs=N]
+//                                              [--sweep path=v1,v2,...]...
+//                                              [--out=DIR] [--append] [--no-timing]
+//   airfedga_cli run-dir <directory>           [same options]
 //   airfedga_cli list
 //   airfedga_cli validate <scenario.json|->
 //   airfedga_cli dump <preset>
@@ -17,18 +20,16 @@
 // reproduces the fig04 bench's metrics digests exactly (equal seeds and
 // threads). A multi-valued --threads list switches run into the engine
 // determinism sweep: every lane count must produce bit-identical metrics,
-// and a divergence exits nonzero.
+// and a divergence exits nonzero. --jobs=N runs independent sweep variants
+// (or directory studies) concurrently; results are exported in variant
+// order, so the output files are byte-stable for every N.
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "scenario/cli.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/runner.hpp"
 #include "util/table.hpp"
@@ -41,20 +42,32 @@ constexpr const char* kUsage = R"(airfedga_cli — declarative Air-FedGA scenari
 
 usage:
   airfedga_cli run <scenario.json|preset|->  [options]   run a scenario
+  airfedga_cli run-dir <directory>           [options]   run every .json study in a directory
   airfedga_cli list                                      list registered presets
   airfedga_cli validate <scenario.json|->                check a spec, report all problems
   airfedga_cli dump <preset>                             print a preset's JSON to stdout
   airfedga_cli --help
 
-run options:
+run / run-dir options:
   --seed=S               override run.seed
   --threads=T[,T2,...]   override run.threads; a list runs every lane count and
                          verifies bit-identical metrics (exit 1 on divergence)
   --time-budget=X        override run.time_budget (virtual seconds)
+  --jobs=N               run up to N independent variants concurrently; the
+                         global lane budget is split across in-flight variants
+                         and results are exported in variant order (byte-stable
+                         output for every N)
   --sweep path=v1,v2,... grid over a spec field (repeatable; cartesian product),
                          e.g. --sweep mechanisms.0.xi=0,0.1,0.3 --sweep run.seed=1,2
   --out=DIR              results directory (default: scenario_results); writes
-                         results.jsonl (appended), summary.csv, points/*.csv
+                         results.jsonl, summary.csv, points/*.csv
+  --append               accumulate onto existing result files instead of
+                         replacing them (default: fresh files per invocation)
+  --no-timing            omit wall-clock fields from results, making the output
+                         byte-for-byte comparable across runs and machines
+
+Scenario files may carry a top-level "sweeps" object — a checked-in study:
+  "sweeps": { "mechanisms.0.xi": [0.1, 0.3], "run.seed": [1, 2] }
 
 `-` reads the scenario JSON from stdin:
   airfedga_cli dump fig04_cnn_mnist | airfedga_cli run -
@@ -63,108 +76,6 @@ run options:
 int fail(const std::string& message) {
   std::fprintf(stderr, "airfedga_cli: %s\n", message.c_str());
   return 2;
-}
-
-std::string read_stream(std::istream& in) {
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-/// Loads a spec from a preset name, a .json file path, or stdin ("-").
-scenario::ScenarioSpec load_spec(const std::string& source) {
-  if (source == "-") {
-    const std::string text = read_stream(std::cin);
-    if (text.empty()) throw std::invalid_argument("stdin: no scenario JSON on standard input");
-    return scenario::ScenarioSpec::from_json(scenario::Json::parse(text));
-  }
-  if (scenario::has_preset(source)) return scenario::preset(source);
-  std::ifstream f(source);
-  if (!f) {
-    if (source.find('.') == std::string::npos)  // looks like a preset name, not a path
-      throw std::invalid_argument(
-          "no such preset or file \"" + source + "\"; `airfedga_cli list` shows the presets");
-    throw std::invalid_argument("cannot open scenario file \"" + source + "\"");
-  }
-  return scenario::ScenarioSpec::from_json(scenario::Json::parse(read_stream(f)));
-}
-
-/// Splits "a,b,c" (no empty tokens allowed).
-std::vector<std::string> split_list(const std::string& list, const std::string& what) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= list.size()) {
-    const std::size_t comma = std::min(list.find(',', pos), list.size());
-    const std::string tok = list.substr(pos, comma - pos);
-    if (tok.empty())
-      throw std::invalid_argument(what + ": empty element in list \"" + list + "\"");
-    out.push_back(tok);
-    pos = comma + 1;
-  }
-  return out;
-}
-
-std::size_t parse_count(const std::string& tok, const std::string& what) {
-  // Up to 18 digits: covers every seed the JSON schema itself can carry
-  // (numbers are doubles, exact to 2^53) without overflowing stoull.
-  if (tok.empty() || tok.size() > 18 ||
-      tok.find_first_not_of("0123456789") != std::string::npos)
-    throw std::invalid_argument(what + ": \"" + tok + "\" is not a non-negative integer");
-  return static_cast<std::size_t>(std::stoull(tok));
-}
-
-/// A sweep value is a JSON scalar: number/bool/null if it parses as one,
-/// a string otherwise (so --sweep partition.kind=iid,dirichlet works).
-scenario::Json parse_sweep_value(const std::string& tok) {
-  try {
-    return scenario::Json::parse(tok);
-  } catch (const scenario::JsonError&) {
-    return scenario::Json(tok);
-  }
-}
-
-struct RunArgs {
-  std::string source;
-  scenario::RunOverrides overrides;
-  std::vector<std::size_t> threads;  // >1 entries = determinism sweep
-  std::vector<scenario::SweepAxis> sweeps;
-  std::string out_dir = "scenario_results";
-};
-
-RunArgs parse_run_args(const std::vector<std::string>& args) {
-  RunArgs out;
-  for (const auto& arg : args) {
-    if (arg.rfind("--seed=", 0) == 0) {
-      out.overrides.seed = parse_count(arg.substr(7), "--seed");
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      for (const auto& tok : split_list(arg.substr(10), "--threads")) {
-        const std::size_t v = parse_count(tok, "--threads");
-        if (v == 0) throw std::invalid_argument("--threads: lane counts must be >= 1");
-        if (std::find(out.threads.begin(), out.threads.end(), v) == out.threads.end())
-          out.threads.push_back(v);
-      }
-    } else if (arg.rfind("--time-budget=", 0) == 0) {
-      const std::string tok = arg.substr(14);
-      char* end = nullptr;
-      const double v = std::strtod(tok.c_str(), &end);
-      if (tok.empty() || end != tok.c_str() + tok.size() || v <= 0.0)
-        throw std::invalid_argument("--time-budget: \"" + tok + "\" is not a positive number");
-      out.overrides.time_budget = v;
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out.out_dir = arg.substr(6);
-      if (out.out_dir.empty()) throw std::invalid_argument("--out: directory must not be empty");
-    } else if (arg.rfind("--", 0) == 0) {
-      throw std::invalid_argument("unknown option \"" + arg +
-                                  "\" (see airfedga_cli --help)");
-    } else if (out.source.empty()) {
-      out.source = arg;
-    } else {
-      throw std::invalid_argument("unexpected argument \"" + arg + "\"");
-    }
-  }
-  if (out.source.empty())
-    throw std::invalid_argument("run: need a scenario (preset name, file, or `-` for stdin)");
-  return out;
 }
 
 void print_summary(const std::vector<scenario::ScenarioResult>& results) {
@@ -183,37 +94,61 @@ void print_summary(const std::vector<scenario::ScenarioResult>& results) {
   t.print(std::cout);
 }
 
-int cmd_run(const RunArgs& ra) {
-  scenario::ScenarioSpec spec = load_spec(ra.source);
-  spec.validate();
-
-  const std::vector<scenario::ScenarioSpec> variants = expand_sweeps(spec, ra.sweeps);
-
-  std::vector<scenario::ScenarioResult> results;
-  bool all_identical = true;
-  for (const auto& variant : variants) {
-    if (ra.threads.size() > 1) {
-      auto sweep = scenario::run_thread_sweep(variant, ra.threads, ra.overrides);
-      all_identical = all_identical && sweep.all_identical;
-      for (auto& r : sweep.by_threads) results.push_back(std::move(r));
-    } else {
-      scenario::RunOverrides ov = ra.overrides;
-      if (ra.threads.size() == 1) ov.threads = ra.threads.front();
-      results.push_back(scenario::run_scenario(variant, ov));
-    }
-  }
+/// Expands `sources` (scenario files/presets for run, directory studies for
+/// run-dir) into the full variant list, runs it (possibly --jobs-parallel),
+/// exports, and reports. Shared tail of cmd_run / cmd_run_dir.
+int run_variants(const scenario::cli::RunArgs& ra,
+                 const std::vector<scenario::ScenarioSpec>& variants) {
+  scenario::BatchRunOptions batch;
+  batch.jobs = ra.jobs;
+  batch.threads = ra.threads;
+  const scenario::BatchRunResult outcome =
+      scenario::run_scenarios(variants, ra.overrides, batch);
 
   const std::string git = scenario::git_version();
-  scenario::write_results(ra.out_dir, results, git);
-  print_summary(results);
-  std::printf("\nwrote %s/results.jsonl, %s/summary.csv (git %s)\n", ra.out_dir.c_str(),
-              ra.out_dir.c_str(), git.c_str());
-  if (!all_identical) {
+  scenario::WriteOptions wo;
+  wo.append = ra.append;
+  wo.timing = ra.timing;
+  scenario::write_results(ra.out_dir, outcome.results, git, wo);
+  print_summary(outcome.results);
+  std::printf("\nwrote %s/results.jsonl, %s/summary.csv (git %s, schema v%d)\n",
+              ra.out_dir.c_str(), ra.out_dir.c_str(), git.c_str(),
+              scenario::kResultsSchemaVersion);
+  if (!outcome.all_identical) {
     std::fprintf(stderr,
                  "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
     return 1;
   }
   return 0;
+}
+
+int cmd_run(const scenario::cli::RunArgs& ra) {
+  if (ra.sources.size() != 1)
+    return fail("run: need exactly one scenario (preset name, file, or `-` for stdin)");
+  scenario::cli::Study study = scenario::cli::load_study(ra.sources[0]);
+  study.spec.validate();
+
+  // Checked-in study axes expand first, CLI --sweep axes after them.
+  std::vector<scenario::SweepAxis> axes = study.sweeps;
+  axes.insert(axes.end(), ra.sweeps.begin(), ra.sweeps.end());
+  return run_variants(ra, expand_sweeps(study.spec, axes));
+}
+
+int cmd_run_dir(const scenario::cli::RunArgs& ra) {
+  if (ra.sources.size() != 1) return fail("run-dir: need exactly one scenario directory");
+  const std::vector<std::string> files = scenario::cli::list_scenario_files(ra.sources[0]);
+
+  std::vector<scenario::ScenarioSpec> variants;
+  for (const auto& file : files) {
+    scenario::cli::Study study = scenario::cli::load_study(file);
+    study.spec.validate();
+    std::vector<scenario::SweepAxis> axes = study.sweeps;
+    axes.insert(axes.end(), ra.sweeps.begin(), ra.sweeps.end());
+    std::vector<scenario::ScenarioSpec> expanded = expand_sweeps(study.spec, axes);
+    std::printf("%s: %zu variant(s)\n", file.c_str(), expanded.size());
+    for (auto& v : expanded) variants.push_back(std::move(v));
+  }
+  return run_variants(ra, variants);
 }
 
 int cmd_list() {
@@ -231,12 +166,15 @@ int cmd_list() {
 
 int cmd_validate(const std::string& source) {
   try {
-    scenario::ScenarioSpec spec = load_spec(source);
-    spec.validate();
-    scenario::build(spec);  // also exercises dataset/model/partition construction
-    std::printf("%s: OK (%zu workers, %zu mechanism(s), config hash %s)\n", source.c_str(),
-                spec.partition.workers, spec.mechanisms.size(),
-                scenario::config_hash(spec).c_str());
+    scenario::cli::Study study = scenario::cli::load_study(source);
+    study.spec.validate();
+    scenario::build(study.spec);  // also exercises dataset/model/partition construction
+    // A study's sweep grid must expand cleanly too (paths resolve, every
+    // variant validates) — that is what run would execute.
+    const auto variants = expand_sweeps(study.spec, study.sweeps);
+    std::printf("%s: OK (%zu workers, %zu mechanism(s), %zu variant(s), config hash %s)\n",
+                source.c_str(), study.spec.partition.workers, study.spec.mechanisms.size(),
+                variants.size(), scenario::config_hash(study.spec).c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: INVALID — %s\n", source.c_str(), e.what());
@@ -263,38 +201,8 @@ int main(int argc, char** argv) {
     const std::string cmd = args[0];
     std::vector<std::string> rest(args.begin() + 1, args.end());
 
-    if (cmd == "run") {
-      // `--sweep path=v1,v2` may arrive as one argv element (--sweep=...)
-      // or as two ("--sweep" "path=v1,v2"); normalize both, then hand the
-      // remaining flags to parse_run_args.
-      std::vector<std::string> flat;
-      std::vector<scenario::SweepAxis> sweeps;
-      for (std::size_t i = 0; i < rest.size(); ++i) {
-        if (rest[i] == "--sweep" || rest[i].rfind("--sweep=", 0) == 0) {
-          std::string assign;
-          if (rest[i] == "--sweep") {
-            if (i + 1 >= rest.size())
-              return fail("--sweep: expected path=v1,v2,... after it");
-            assign = rest[++i];
-          } else {
-            assign = rest[i].substr(8);
-          }
-          const std::size_t eq = assign.find('=');
-          if (eq == std::string::npos || eq == 0)
-            return fail("--sweep: expected path=v1,v2,..., got \"" + assign + "\"");
-          scenario::SweepAxis axis;
-          axis.path = assign.substr(0, eq);
-          for (const auto& tok : split_list(assign.substr(eq + 1), "--sweep " + axis.path))
-            axis.values.push_back(parse_sweep_value(tok));
-          sweeps.push_back(std::move(axis));
-        } else {
-          flat.push_back(rest[i]);
-        }
-      }
-      RunArgs ra = parse_run_args(flat);
-      ra.sweeps = std::move(sweeps);
-      return cmd_run(ra);
-    }
+    if (cmd == "run") return cmd_run(scenario::cli::parse_run_args(rest));
+    if (cmd == "run-dir") return cmd_run_dir(scenario::cli::parse_run_args(rest));
     if (cmd == "list") {
       if (!rest.empty()) return fail("list: takes no arguments");
       return cmd_list();
@@ -307,7 +215,8 @@ int main(int argc, char** argv) {
       if (rest.size() != 1) return fail("dump: need exactly one preset name");
       return cmd_dump(rest[0]);
     }
-    return fail("unknown command \"" + cmd + "\" (run | list | validate | dump; see --help)");
+    return fail("unknown command \"" + cmd +
+                "\" (run | run-dir | list | validate | dump; see --help)");
   } catch (const std::exception& e) {
     return fail(e.what());
   }
