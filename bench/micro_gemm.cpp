@@ -1,0 +1,269 @@
+// Kernel-layer microbenchmark: GFLOP/s of the blocked GEMM vs the seed's
+// naive loops on the figure models' layer shapes, plus wall time and heap
+// traffic per *training step* for each figure preset's model. The blocked
+// numbers are the "after", the reference numbers the "before" of the
+// kernel-layer PR; CI stores the JSONL output as an artifact so perf is
+// tracked across commits (docs/BENCHMARKS.md).
+//
+// Usage: micro_gemm [--json=<path>] [--repeat-ms=<ms-per-measurement>]
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "ml/gemm.hpp"
+#include "ml/workspace.hpp"
+#include "scenario/json.hpp"
+#include "util/table.hpp"
+
+// Allocation hook (shared with tests/gemm_test.cpp): counts every
+// operator-new in this binary so the per-train-step heap traffic can be
+// reported (steady state must be zero; gemm_test enforces that, this
+// bench *reports* it).
+#include "../tests/support/alloc_hook.hpp"
+
+namespace {
+
+using namespace airfedga;
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One GEMM workload: the batched lowering of a figure-model layer.
+/// `samples` > 1 additionally times the seed's *per-sample* decomposition
+/// (the pre-kernel-layer Conv2D did one naive GEMM per sample).
+struct GemmShape {
+  const char* figure;
+  const char* layer;
+  std::size_t m, n, k;
+  std::size_t samples;
+};
+
+// Layer lowerings at the preset scales (scenario/presets.cpp):
+//   fig03  MLP-128, full-shard batch ~100 rows
+//   fig04  CNN width 0.15 on 28x28 (c1=4, c2=8, fc=75), batch 16
+//   fig05  CNN width 0.2 on 16x16 (c1=6, c2=13, fc=102), batch 16
+//   fig06  1-hidden MLP-128 on 768 inputs, 100 classes, batch 16
+// Conv forward lowers to (cout, cin*k*k) x (cin*k*k, batch*oh*ow).
+const GemmShape kShapes[] = {
+    {"fig03", "dense1", 100, 128, 784, 1},
+    {"fig03", "dense2", 100, 128, 128, 1},
+    {"fig04", "conv1", 4, 12544, 25, 16},
+    {"fig04", "conv2", 8, 3136, 100, 16},
+    {"fig04", "fc", 16, 75, 392, 1},
+    {"fig05", "conv1", 6, 4096, 75, 16},
+    {"fig05", "conv2", 13, 1024, 150, 16},
+    {"fig05", "conv2-dW", 13, 150, 1024, 1},
+    {"fig05", "fc", 16, 102, 208, 1},
+    {"fig06", "dense1", 16, 128, 768, 1},
+    {"fig06", "head", 16, 100, 128, 1},
+};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// Calls fn repeatedly until ~budget_ms of wall time accumulated; returns
+/// seconds per call.
+template <typename F>
+double time_per_call(double budget_ms, F&& fn) {
+  fn();  // warm caches / workspace
+  int iters = 1;
+  for (;;) {
+    const double t0 = now_seconds();
+    for (int i = 0; i < iters; ++i) fn();
+    const double dt = now_seconds() - t0;
+    if (dt * 1000.0 >= budget_ms || iters >= (1 << 22)) return dt / iters;
+    iters = dt <= 0 ? iters * 8 : std::max(iters * 2, static_cast<int>(iters * budget_ms / (dt * 1000.0)));
+  }
+}
+
+struct ShapeResult {
+  GemmShape shape;
+  double blocked_gflops = 0;
+  double naive_gflops = 0;
+  double per_sample_gflops = 0;  // 0 when samples == 1
+};
+
+ShapeResult bench_shape(const GemmShape& s, double budget_ms) {
+  const auto a = random_floats(s.m * s.k, 1);
+  const auto b = random_floats(s.k * s.n, 2);
+  std::vector<float> c(s.m * s.n, 0.0f);
+  const double flops = 2.0 * static_cast<double>(s.m) * s.n * s.k;
+
+  ShapeResult r{s, 0, 0, 0};
+  r.blocked_gflops =
+      flops / time_per_call(budget_ms, [&] {
+        ml::sgemm(ml::Trans::N, ml::Trans::N, s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, 0.0f,
+                  c.data(), s.n);
+      }) / 1e9;
+  r.naive_gflops =
+      flops / time_per_call(budget_ms, [&] {
+        ml::sgemm_reference(ml::Trans::N, ml::Trans::N, s.m, s.n, s.k, a.data(), s.k, b.data(),
+                            s.n, 0.0f, c.data(), s.n);
+      }) / 1e9;
+  if (s.samples > 1) {
+    // The seed path: one naive GEMM per sample over an n/samples slice.
+    const std::size_t n_per = s.n / s.samples;
+    r.per_sample_gflops =
+        flops / time_per_call(budget_ms, [&] {
+          for (std::size_t i = 0; i < s.samples; ++i)
+            ml::sgemm_reference(ml::Trans::N, ml::Trans::N, s.m, n_per, s.k, a.data(), s.k,
+                                b.data() + i * n_per, s.n, 0.0f, c.data() + i * n_per, s.n);
+        }) / 1e9;
+  }
+  return r;
+}
+
+struct StepResult {
+  std::string preset;
+  std::string model;
+  std::size_t batch = 0;
+  double ms_per_step = 0;
+  double gflops = 0;  ///< analytic forward GEMM flops / step time (lower bound)
+  std::size_t allocs_per_step = 0;
+  std::size_t bytes_per_step = 0;
+};
+
+/// Builds the preset's model on a shrunken copy of its dataset and times a
+/// steady-state train_step, reporting heap traffic per step.
+StepResult bench_train_step(const std::string& preset_name, double budget_ms) {
+  scenario::ScenarioSpec spec = scenario::preset(preset_name);
+  spec.dataset.train_samples = 256;
+  spec.dataset.test_samples = 64;
+  spec.eval_samples = 64;
+  auto built = scenario::build(spec);
+
+  ml::Model model = built.cfg.model_factory();
+  util::Rng rng(spec.seed);
+  model.init(rng);
+
+  const std::size_t batch = spec.batch_size == 0 ? 100 : spec.batch_size;
+  std::vector<std::size_t> idx(batch);
+  for (std::size_t i = 0; i < batch; ++i) idx[i] = i;
+  const ml::Tensor x = ml::gather_rows(built.data->train.xs, idx);
+  std::vector<int> y(batch);
+  for (std::size_t i = 0; i < batch; ++i) y[i] = built.data->train.ys[i];
+
+  for (int warm = 0; warm < 3; ++warm) model.train_step(x, y, 0.01f);
+
+  const std::size_t count0 = alloc_hook::count.load();
+  const std::size_t bytes0 = alloc_hook::bytes.load();
+  constexpr int kCountedSteps = 5;
+  for (int s = 0; s < kCountedSteps; ++s) model.train_step(x, y, 0.01f);
+  const std::size_t count1 = alloc_hook::count.load();
+  const std::size_t bytes1 = alloc_hook::bytes.load();
+
+  StepResult r;
+  r.preset = preset_name;
+  r.model = spec.model.kind;
+  r.batch = batch;
+  r.ms_per_step = 1000.0 * time_per_call(budget_ms, [&] { model.train_step(x, y, 0.01f); });
+  r.allocs_per_step = (count1 - count0) / kCountedSteps;
+  r.bytes_per_step = (bytes1 - bytes0) / kCountedSteps;
+
+  // Analytic GEMM flops of one step (forward + both backward GEMMs ~ 3x
+  // forward) for a rough GFLOP/s figure; exact per-layer flops are what
+  // the shape table above measures.
+  double fwd_flops = 0;
+  for (const auto& s : kShapes)
+    if (preset_name.rfind(s.figure, 0) == 0)
+      fwd_flops += 2.0 * static_cast<double>(s.m) * s.n * s.k;
+  r.gflops = 3.0 * fwd_flops / (r.ms_per_step / 1000.0) / 1e9;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FlagParser flags(
+      "Kernel-layer microbenchmark: blocked vs naive GEMM GFLOP/s on the figure models' layer "
+      "shapes, and wall time + heap allocations per training step per figure preset.");
+  flags.add("json", "append one JSONL record per measurement to this file");
+  flags.add("repeat-ms", "wall-time budget per measurement in ms (default 200)");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
+
+  double budget_ms = 200.0;
+  if (const std::string* v = flags.get("repeat-ms")) budget_ms = std::atof(v->c_str());
+  if (budget_ms <= 0) {
+    std::fprintf(stderr, "invalid --repeat-ms\n");
+    return 2;
+  }
+
+  std::vector<scenario::Json> records;
+
+  std::printf("=== Blocked GEMM vs seed kernels (single thread) ===\n");
+  util::Table t({"figure", "layer", "m", "n", "k", "blocked GF/s", "naive GF/s", "per-sample GF/s",
+                 "speedup"});
+  {
+    util::ThreadPool::SerialRegion serial;  // single-thread kernel numbers
+    for (const auto& s : kShapes) {
+      const auto r = bench_shape(s, budget_ms);
+      const double baseline = r.per_sample_gflops > 0 ? r.per_sample_gflops : r.naive_gflops;
+      t.add_row({s.figure, s.layer, util::Table::fmt_int(static_cast<long long>(s.m)),
+                 util::Table::fmt_int(static_cast<long long>(s.n)),
+                 util::Table::fmt_int(static_cast<long long>(s.k)),
+                 util::Table::fmt(r.blocked_gflops, 2), util::Table::fmt(r.naive_gflops, 2),
+                 r.per_sample_gflops > 0 ? util::Table::fmt(r.per_sample_gflops, 2) : "-",
+                 util::Table::fmt(r.blocked_gflops / baseline, 2) + "x"});
+      scenario::Json rec = scenario::Json::object();
+      rec.set("kind", "gemm_shape");
+      rec.set("figure", s.figure);
+      rec.set("layer", s.layer);
+      rec.set("m", s.m);
+      rec.set("n", s.n);
+      rec.set("k", s.k);
+      rec.set("blocked_gflops", r.blocked_gflops);
+      rec.set("naive_gflops", r.naive_gflops);
+      if (r.per_sample_gflops > 0) rec.set("per_sample_gflops", r.per_sample_gflops);
+      rec.set("speedup", r.blocked_gflops / baseline);
+      records.push_back(std::move(rec));
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\n=== Training step: wall time and heap traffic (steady state) ===\n");
+  util::Table ts({"preset", "model", "batch", "ms/step", "~GF/s", "allocs/step", "bytes/step"});
+  for (const char* preset :
+       {"fig03_lr_mnist", "fig04_cnn_mnist", "fig05_cnn_cifar", "fig06_vgg_imagenet"}) {
+    const auto r = bench_train_step(preset, budget_ms);
+    ts.add_row({r.preset, r.model, util::Table::fmt_int(static_cast<long long>(r.batch)),
+                util::Table::fmt(r.ms_per_step, 3), util::Table::fmt(r.gflops, 2),
+                util::Table::fmt_int(static_cast<long long>(r.allocs_per_step)),
+                util::Table::fmt_int(static_cast<long long>(r.bytes_per_step))});
+    scenario::Json rec = scenario::Json::object();
+    rec.set("kind", "train_step");
+    rec.set("preset", r.preset);
+    rec.set("model", r.model);
+    rec.set("batch", r.batch);
+    rec.set("ms_per_step", r.ms_per_step);
+    rec.set("allocs_per_step", r.allocs_per_step);
+    rec.set("bytes_per_step", r.bytes_per_step);
+    records.push_back(std::move(rec));
+  }
+  ts.print(std::cout);
+  std::printf("(allocs/step and bytes/step must be 0 in steady state — gemm_test enforces it)\n");
+
+  if (const std::string* path = flags.get("json")) {
+    std::ofstream out(*path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path->c_str());
+      return 1;
+    }
+    for (const auto& rec : records) out << rec.dump() << "\n";
+    std::printf("\nwrote %zu records to %s\n", records.size(), path->c_str());
+  }
+  return 0;
+}

@@ -67,6 +67,13 @@ struct FLConfig {
   /// reductions run in fixed member order on the simulation thread.
   std::size_t threads = 0;
 
+  /// Cooperative GEMM: when fewer training jobs than lanes are runnable,
+  /// idle lanes donate themselves to the active workers' large GEMMs
+  /// (ThreadPool::cooperate via a scope the driver installs around local
+  /// training). Tile-to-output mapping is fixed, so cooperation changes
+  /// wall time only — results stay bit-identical for every lane count.
+  bool cooperative_gemm = true;
+
   /// Throws std::invalid_argument on an unusable configuration.
   void validate() const;
 };
@@ -178,8 +185,9 @@ class Driver {
   ml::EvalResult evaluate(std::span<const float> model);
 
   /// Wall-clock engine instrumentation accumulated so far (barrier stalls,
-  /// evaluation time). Mechanisms copy this into their Metrics on return.
-  [[nodiscard]] const EngineStats& engine_stats() const { return engine_stats_; }
+  /// evaluation time, cooperative-GEMM activity merged from the lane
+  /// pool's counters). Mechanisms copy this into their Metrics on return.
+  [[nodiscard]] EngineStats engine_stats() const;
 
   /// Per-round power control (Alg. 2) for a group about to aggregate:
   /// gathers this round's gains and member model-norm bound W_t, and

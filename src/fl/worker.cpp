@@ -14,12 +14,12 @@ Worker::Worker(std::size_t id, const data::Dataset& train, std::vector<std::size
     if (idx >= train.size()) throw std::invalid_argument("Worker: shard index out of range");
 }
 
-std::vector<std::size_t> Worker::sample_batch(std::size_t batch_size) {
+std::span<const std::size_t> Worker::sample_batch(std::size_t batch_size) {
   if (batch_size == 0 || batch_size >= shard_.size()) return shard_;
-  auto pick = rng_.sample_without_replacement(shard_.size(), batch_size);
-  std::vector<std::size_t> batch(pick.size());
-  for (std::size_t i = 0; i < pick.size(); ++i) batch[i] = shard_[pick[i]];
-  return batch;
+  rng_.sample_without_replacement(shard_.size(), batch_size, pick_);
+  batch_.resize(pick_.size());
+  for (std::size_t i = 0; i < pick_.size(); ++i) batch_[i] = shard_[pick_[i]];
+  return batch_;
 }
 
 double Worker::local_update(ml::Model& scratch, std::span<const float> global_model, float lr,
@@ -29,12 +29,12 @@ double Worker::local_update(ml::Model& scratch, std::span<const float> global_mo
   double loss_sum = 0.0;
   for (std::size_t s = 0; s < steps; ++s) {
     const auto batch = sample_batch(batch_size);
-    ml::Tensor xb = ml::gather_rows(train_->xs, batch);
-    std::vector<int> yb(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) yb[i] = train_->ys[batch[i]];
-    loss_sum += scratch.train_step(xb, yb, lr);
+    ml::gather_rows_into(xb_, train_->xs, batch);
+    yb_.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) yb_[i] = train_->ys[batch[i]];
+    loss_sum += scratch.train_step(xb_, yb_, lr);
   }
-  local_model_ = scratch.parameters();
+  scratch.parameters_into(local_model_);
   return loss_sum / static_cast<double>(steps);
 }
 

@@ -44,13 +44,20 @@ class Worker {
   [[nodiscard]] const std::vector<std::size_t>& shard() const { return shard_; }
 
  private:
-  std::vector<std::size_t> sample_batch(std::size_t batch_size);
+  std::span<const std::size_t> sample_batch(std::size_t batch_size);
 
   std::size_t id_;
   const data::Dataset* train_;
   std::vector<std::size_t> shard_;
   std::vector<float> local_model_;
   util::Rng rng_;
+
+  // Reused per-step buffers: local training allocates nothing once these
+  // reach the steady batch size.
+  std::vector<std::size_t> pick_;   ///< sampled positions within the shard
+  std::vector<std::size_t> batch_;  ///< sampled dataset indices
+  ml::Tensor xb_;                   ///< gathered batch inputs
+  std::vector<int> yb_;             ///< gathered batch labels
 };
 
 }  // namespace airfedga::fl

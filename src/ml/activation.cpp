@@ -4,39 +4,48 @@
 
 namespace airfedga::ml {
 
-Tensor ReLU::forward(const Tensor& x) {
-  mask_ = Tensor(x.shape());
-  Tensor y(x.shape());
+const Tensor& ReLU::forward(const Tensor& x) {
+  out_.resize_uninitialized(x.shape());
   const float* px = x.data().data();
-  float* pm = mask_.data().data();
-  float* py = y.data().data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const bool pos = px[i] > 0.0f;
-    pm[i] = pos ? 1.0f : 0.0f;
-    py[i] = pos ? px[i] : 0.0f;
+  float* py = out_.data().data();
+  if (training_) {
+    mask_.resize_uninitialized(x.shape());
+    float* pm = mask_.data().data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const bool pos = px[i] > 0.0f;
+      pm[i] = pos ? 1.0f : 0.0f;
+      py[i] = pos ? px[i] : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
   }
-  return y;
+  return out_;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
+const Tensor& ReLU::backward(const Tensor& grad_out) {
+  if (!training_) throw std::logic_error("ReLU::backward: requires a training-mode forward");
   if (grad_out.size() != mask_.size())
     throw std::invalid_argument("ReLU::backward: shape mismatch with cached forward");
-  Tensor dx(grad_out.shape());
+  dx_.resize_uninitialized(grad_out.shape());
   const float* pg = grad_out.data().data();
   const float* pm = mask_.data().data();
-  float* pd = dx.data().data();
+  float* pd = dx_.data().data();
   for (std::size_t i = 0; i < grad_out.size(); ++i) pd[i] = pg[i] * pm[i];
-  return dx;
+  return dx_;
 }
 
-Tensor Flatten::forward(const Tensor& x) {
-  input_shape_ = x.shape();
+const Tensor& Flatten::forward(const Tensor& x) {
+  input_shape_.assign(x.shape().begin(), x.shape().end());
   const std::size_t batch = x.dim(0);
-  return x.reshaped({batch, x.size() / batch});
+  out_.assign_reshaped(x, {batch, x.size() / batch});
+  return out_;
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
-  return grad_out.reshaped(input_shape_);
+const Tensor& Flatten::backward(const Tensor& grad_out) {
+  if (input_shape_.empty())
+    throw std::logic_error("Flatten::backward called before forward");
+  dx_.assign_reshaped(grad_out, input_shape_);
+  return dx_;
 }
 
 }  // namespace airfedga::ml

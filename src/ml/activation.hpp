@@ -7,23 +7,27 @@ namespace airfedga::ml {
 /// Elementwise rectified linear unit.
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor mask_;  // 1 where input > 0
+  Tensor mask_;  // 1 where input > 0 (training mode only)
+  Tensor out_;
+  Tensor dx_;
 };
 
 /// Shape adapter from NCHW activations to (batch, features) rows.
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
 
  private:
   std::vector<std::size_t> input_shape_;
+  Tensor out_;
+  Tensor dx_;
 };
 
 }  // namespace airfedga::ml

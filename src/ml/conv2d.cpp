@@ -1,7 +1,11 @@
 #include "ml/conv2d.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "ml/gemm.hpp"
+#include "ml/workspace.hpp"
 
 namespace airfedga::ml {
 
@@ -26,56 +30,68 @@ void Conv2D::init(util::Rng& rng) {
   bias_.fill(0.0f);
 }
 
-Tensor Conv2D::im2col(const Tensor& x, std::size_t sample) const {
+void Conv2D::im2col_batched(const Tensor& x, std::size_t s0, std::size_t s1,
+                            float* cols) const {
   const std::size_t h = x.dim(2), w = x.dim(3);
   const std::size_t oh = out_height(h), ow = out_width(w);
-  Tensor cols({cin_ * k_ * k_, oh * ow});
-  float* pc = cols.data().data();
+  const std::size_t np = oh * ow;             // patches per sample
+  const std::size_t ncols = (s1 - s0) * np;   // patch-matrix width
+  const float* px = x.data().data();
   for (std::size_t c = 0; c < cin_; ++c) {
     for (std::size_t ki = 0; ki < k_; ++ki) {
       for (std::size_t kj = 0; kj < k_; ++kj) {
         const std::size_t row = (c * k_ + ki) * k_ + kj;
-        float* dst = pc + row * (oh * ow);
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
-                                    static_cast<std::ptrdiff_t>(pad_);
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
+        // For fixed (ki, kj) the valid output columns map to a contiguous
+        // input span, so each output row is a memcpy plus zeroed borders.
+        const std::size_t oj_lo = pad_ > kj ? pad_ - kj : 0;
+        const std::size_t oj_hi = std::min(ow, w + pad_ > kj ? w + pad_ - kj : 0);
+        for (std::size_t n = s0; n < s1; ++n) {
+          float* dst0 = cols + row * ncols + (n - s0) * np;
+          const float* src_plane = px + (n * cin_ + c) * h * w;
+          for (std::size_t oi = 0; oi < oh; ++oi) {
+            float* dst = dst0 + oi * ow;
+            const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
                                       static_cast<std::ptrdiff_t>(pad_);
-            const bool in_bounds = ii >= 0 && jj >= 0 &&
-                                   ii < static_cast<std::ptrdiff_t>(h) &&
-                                   jj < static_cast<std::ptrdiff_t>(w);
-            dst[oi * ow + oj] =
-                in_bounds ? x.at4(sample, c, static_cast<std::size_t>(ii),
-                                  static_cast<std::size_t>(jj))
-                          : 0.0f;
+            if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h) || oj_lo >= oj_hi) {
+              std::memset(dst, 0, ow * sizeof(float));
+              continue;
+            }
+            if (oj_lo > 0) std::memset(dst, 0, oj_lo * sizeof(float));
+            std::memcpy(dst + oj_lo,
+                        src_plane + static_cast<std::size_t>(ii) * w + (oj_lo + kj - pad_),
+                        (oj_hi - oj_lo) * sizeof(float));
+            if (oj_hi < ow) std::memset(dst + oj_hi, 0, (ow - oj_hi) * sizeof(float));
           }
         }
       }
     }
   }
-  return cols;
 }
 
-void Conv2D::col2im(const Tensor& cols, Tensor& dx, std::size_t sample) const {
+void Conv2D::col2im_batched(const float* cols, std::size_t s0, std::size_t s1,
+                            Tensor& dx) const {
   const std::size_t h = dx.dim(2), w = dx.dim(3);
   const std::size_t oh = out_height(h), ow = out_width(w);
-  const float* pc = cols.data().data();
+  const std::size_t np = oh * ow;
+  const std::size_t ncols = (s1 - s0) * np;
+  float* pdx = dx.data().data();
   for (std::size_t c = 0; c < cin_; ++c) {
     for (std::size_t ki = 0; ki < k_; ++ki) {
       for (std::size_t kj = 0; kj < k_; ++kj) {
         const std::size_t row = (c * k_ + ki) * k_ + kj;
-        const float* src = pc + row * (oh * ow);
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
-                                    static_cast<std::ptrdiff_t>(pad_);
-          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
+        const std::size_t oj_lo = pad_ > kj ? pad_ - kj : 0;
+        const std::size_t oj_hi = std::min(ow, w + pad_ > kj ? w + pad_ - kj : 0);
+        if (oj_lo >= oj_hi) continue;
+        for (std::size_t n = s0; n < s1; ++n) {
+          const float* src0 = cols + row * ncols + (n - s0) * np;
+          float* dst_plane = pdx + (n * cin_ + c) * h * w;
+          for (std::size_t oi = 0; oi < oh; ++oi) {
+            const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
                                       static_cast<std::ptrdiff_t>(pad_);
-            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
-            dx.at4(sample, c, static_cast<std::size_t>(ii), static_cast<std::size_t>(jj)) +=
-                src[oi * ow + oj];
+            if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+            const float* src = src0 + oi * ow;
+            float* dst = dst_plane + static_cast<std::size_t>(ii) * w + (oj_lo + kj - pad_);
+            for (std::size_t oj = oj_lo; oj < oj_hi; ++oj) dst[oj - oj_lo] += src[oj];
           }
         }
       }
@@ -83,53 +99,101 @@ void Conv2D::col2im(const Tensor& cols, Tensor& dx, std::size_t sample) const {
   }
 }
 
-Tensor Conv2D::forward(const Tensor& x) {
+const Tensor& Conv2D::forward(const Tensor& x) {
   if (x.rank() != 4 || x.dim(1) != cin_)
     throw std::invalid_argument("Conv2D::forward: bad input shape " + x.shape_string());
-  input_cache_ = x;
+  if (training_) input_cache_ = x;
   const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = out_height(h), ow = out_width(w);
-  Tensor y({batch, cout_, oh, ow});
-  for (std::size_t n = 0; n < batch; ++n) {
-    Tensor cols = im2col(x, n);                // (cin*k*k, oh*ow)
-    Tensor out = matmul(weight_, cols);        // (cout, oh*ow)
-    float* py = &y.at4(n, 0, 0, 0);
-    const float* po = out.data().data();
-    for (std::size_t c = 0; c < cout_; ++c) {
-      const float b = bias_[c];
-      for (std::size_t i = 0; i < oh * ow; ++i) py[c * oh * ow + i] = po[c * oh * ow + i] + b;
+  const std::size_t np = oh * ow;
+  const std::size_t rows = cin_ * k_ * k_;
+
+  // Chunk the batch so the lowered patch matrix never exceeds a fixed
+  // float budget: evaluation batches are an order of magnitude larger than
+  // training batches, and the workspace arena retains its peak block set
+  // for the thread's lifetime, so an uncapped eval forward would pin
+  // eval-sized buffers on every lane forever. Chunk boundaries depend only
+  // on the layer shape, and the GEMM's per-element k-order is unchanged,
+  // so chunked and unchunked forwards are bit-identical.
+  constexpr std::size_t kMaxLoweredFloats = std::size_t{1} << 22;  // 16 MiB
+  const std::size_t per_sample = rows * np;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, kMaxLoweredFloats / std::max<std::size_t>(per_sample, 1));
+
+  out_.resize_uninitialized({batch, cout_, oh, ow});
+  float* py = out_.data().data();
+  const float* pb = bias_.data().data();
+  Workspace& ws = Workspace::tls();
+  for (std::size_t s0 = 0; s0 < batch; s0 += chunk) {
+    const std::size_t s1 = std::min(batch, s0 + chunk);
+    const std::size_t ncols = (s1 - s0) * np;
+    Workspace::Scope scope(ws);
+    float* cols = ws.floats(rows * ncols);
+    im2col_batched(x, s0, s1, cols);
+    float* gemm_out = ws.floats(cout_ * ncols);  // (cout, (s1-s0)*OH*OW)
+    sgemm(Trans::N, Trans::N, cout_, ncols, rows, weight_.data().data(), rows, cols, ncols, 0.0f,
+          gemm_out, ncols);
+
+    // Scatter (cout, chunk, OH*OW) -> NCHW and add the bias.
+    for (std::size_t n = s0; n < s1; ++n) {
+      for (std::size_t c = 0; c < cout_; ++c) {
+        const float* src = gemm_out + c * ncols + (n - s0) * np;
+        float* dst = py + (n * cout_ + c) * np;
+        const float b = pb[c];
+        for (std::size_t i = 0; i < np; ++i) dst[i] = src[i] + b;
+      }
     }
   }
-  return y;
+  return out_;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_out) {
+const Tensor& Conv2D::backward(const Tensor& grad_out) {
+  if (!training_ || input_cache_.size() == 0)
+    throw std::logic_error("Conv2D::backward: requires a training-mode forward");
   const Tensor& x = input_cache_;
   const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = out_height(h), ow = out_width(w);
-  if (grad_out.rank() != 4 || grad_out.dim(1) != cout_ || grad_out.dim(2) != oh ||
-      grad_out.dim(3) != ow)
+  if (grad_out.rank() != 4 || grad_out.dim(0) != batch || grad_out.dim(1) != cout_ ||
+      grad_out.dim(2) != oh || grad_out.dim(3) != ow)
     throw std::invalid_argument("Conv2D::backward: bad gradient shape");
+  const std::size_t np = oh * ow;
+  const std::size_t ncols = batch * np;
+  const std::size_t rows = cin_ * k_ * k_;
 
-  Tensor dx(x.shape());
-  for (std::size_t n = 0; n < batch; ++n) {
-    // View of this sample's output gradient as a (cout, oh*ow) matrix.
-    Tensor gy({cout_, oh * ow});
-    const float* pg = grad_out.data().data() + n * cout_ * oh * ow;
-    std::copy(pg, pg + cout_ * oh * ow, gy.data().data());
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scope(ws);
 
-    Tensor cols = im2col(x, n);
-    Tensor dw = matmul_nt(gy, cols);  // (cout, cin*k*k)
-    add_inplace(weight_grad_, dw);
-    for (std::size_t c = 0; c < cout_; ++c) {
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < oh * ow; ++i) acc += gy.at2(c, i);
-      bias_grad_[c] += acc;
-    }
-    Tensor dcols = matmul_tn(weight_, gy);  // (cin*k*k, oh*ow)
-    col2im(dcols, dx, n);
+  // Gather NCHW grad_out into the (cout, N*OH*OW) matrix the GEMMs want.
+  float* gy = ws.floats(cout_ * ncols);
+  const float* pg = grad_out.data().data();
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t c = 0; c < cout_; ++c)
+      std::memcpy(gy + c * ncols + n * np, pg + (n * cout_ + c) * np, np * sizeof(float));
+
+  // Recompute the patch matrix (cheap next to the GEMMs; caching it across
+  // forward/backward would cost rows*ncols floats per layer per lane).
+  float* cols = ws.floats(rows * ncols);
+  im2col_batched(x, 0, batch, cols);
+
+  // dW += gy * cols^T over the whole batch in one accumulating GEMM.
+  sgemm(Trans::N, Trans::T, cout_, rows, ncols, gy, ncols, cols, ncols, 1.0f,
+        weight_grad_.data().data(), rows);
+
+  float* pbg = bias_grad_.data().data();
+  for (std::size_t c = 0; c < cout_; ++c) {
+    const float* row = gy + c * ncols;
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < ncols; ++i) acc += row[i];
+    pbg[c] += acc;
   }
-  return dx;
+
+  // dcols = W^T gy, then scatter-add back to input layout.
+  float* dcols = ws.floats(rows * ncols);
+  sgemm(Trans::T, Trans::N, rows, ncols, cout_, weight_.data().data(), rows, gy, ncols, 0.0f,
+        dcols, ncols);
+  dx_.resize_zero(x.shape());
+  col2im_batched(dcols, 0, batch, dx_);
+  return dx_;
 }
 
 std::vector<ParamView> Conv2D::params() {

@@ -22,27 +22,33 @@ void Dense::init(util::Rng& rng) {
   bias_.fill(0.0f);
 }
 
-Tensor Dense::forward(const Tensor& x) {
+const Tensor& Dense::forward(const Tensor& x) {
   if (x.rank() != 2 || x.dim(1) != in_)
     throw std::invalid_argument("Dense::forward: bad input shape " + x.shape_string());
-  input_cache_ = x;
-  Tensor y = matmul_nt(x, weight_);  // (B, out)
-  const std::size_t batch = y.dim(0);
-  for (std::size_t i = 0; i < batch; ++i)
-    for (std::size_t j = 0; j < out_; ++j) y.at2(i, j) += bias_[j];
-  return y;
+  if (training_) input_cache_ = x;
+  matmul_nt_into(y_, x, weight_);  // (B, out)
+  const std::size_t batch = y_.dim(0);
+  const float* pb = bias_.data().data();
+  for (std::size_t i = 0; i < batch; ++i) {
+    float* row = &y_.at2(i, 0);
+    for (std::size_t j = 0; j < out_; ++j) row[j] += pb[j];
+  }
+  return y_;
 }
 
-Tensor Dense::backward(const Tensor& grad_out) {
+const Tensor& Dense::backward(const Tensor& grad_out) {
   if (grad_out.rank() != 2 || grad_out.dim(1) != out_)
     throw std::invalid_argument("Dense::backward: bad gradient shape");
+  if (!training_ || input_cache_.size() == 0 || input_cache_.dim(0) != grad_out.dim(0))
+    throw std::logic_error("Dense::backward: requires a training-mode forward");
   // dW += dy^T x ; db += column sums of dy ; dx = dy W
-  Tensor dw = matmul_tn(grad_out, input_cache_);  // (out, in)
-  add_inplace(weight_grad_, dw);
+  matmul_tn_into(weight_grad_, grad_out, input_cache_, /*accumulate=*/true);  // (out, in)
   const std::size_t batch = grad_out.dim(0);
+  float* pbg = bias_grad_.data().data();
   for (std::size_t i = 0; i < batch; ++i)
-    for (std::size_t j = 0; j < out_; ++j) bias_grad_[j] += grad_out.at2(i, j);
-  return matmul(grad_out, weight_);  // (B, in)
+    for (std::size_t j = 0; j < out_; ++j) pbg[j] += grad_out.at2(i, j);
+  matmul_into(dx_, grad_out, weight_);  // (B, in)
+  return dx_;
 }
 
 std::vector<ParamView> Dense::params() {

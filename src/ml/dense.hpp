@@ -10,8 +10,8 @@ class Dense : public Layer {
  public:
   Dense(std::size_t in_features, std::size_t out_features);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<ParamView> params() override;
   void init(util::Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "Dense"; }
@@ -25,7 +25,9 @@ class Dense : public Layer {
   Tensor bias_;         // (out)
   Tensor weight_grad_;  // (out, in)
   Tensor bias_grad_;    // (out)
-  Tensor input_cache_;  // (batch, in)
+  Tensor input_cache_;  // (batch, in), training mode only
+  Tensor y_;            // (batch, out) forward output buffer
+  Tensor dx_;           // (batch, in) backward output buffer
 };
 
 }  // namespace airfedga::ml

@@ -1,0 +1,259 @@
+#include "ml/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "ml/workspace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace airfedga::ml {
+namespace {
+
+// BLIS-style blocking: an (mc x nc) output tile is produced per task; for
+// each KC depth slice the operands are packed into contiguous panels and an
+// MR x NR register tile accumulates over the slice. MC*KC floats of packed
+// A (~64 KiB) target L2, the NR-wide B micro-panels stream through L1.
+// MR=4 x NR=32 keeps the accumulator at 128 floats — 8 vector registers at
+// 512-bit, 16 at 256-bit — which auto-vectorizes cleanly at every x86
+// vector width (measured: narrower NR collapses under AVX-512 codegen).
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 32;
+constexpr std::size_t kMC = 64;
+constexpr std::size_t kKC = 256;
+constexpr std::size_t kNC = 256;
+
+// Function multi-versioning for the hot kernel: the default clone matches
+// the build's baseline ISA; the avx2/avx512f clones unlock FMA + wider
+// vectors where the hardware has them, selected once at load time via
+// ifunc. Per-element accumulation order is identical in every clone; only
+// FMA rounding differs, so results are deterministic on a given machine
+// (and lane-count-independent everywhere) but may differ across ISAs —
+// same status as changing compilers (see docs/ARCHITECTURE.md).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define AIRFEDGA_NO_KERNEL_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define AIRFEDGA_NO_KERNEL_CLONES 1
+#endif
+#endif
+#if defined(__x86_64__) && defined(__linux__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(AIRFEDGA_NO_KERNEL_CLONES)
+#define AIRFEDGA_KERNEL_CLONES __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define AIRFEDGA_KERNEL_CLONES
+#endif
+
+// Flop target per parallel_for chunk: dispatch costs microseconds, so a
+// chunk must carry at least ~milliseconds of arithmetic to be worth it.
+constexpr std::size_t kMinFlopsPerTask = std::size_t{1} << 21;
+
+std::atomic<std::size_t> g_coop_min_flops{std::size_t{1} << 23};
+
+constexpr GemmBlocking kBlocking{kMC, kKC, kNC, kMR, kNR};
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+inline float load_a(Trans ta, const float* a, std::size_t lda, std::size_t i, std::size_t p) {
+  return ta == Trans::N ? a[i * lda + p] : a[p * lda + i];
+}
+inline float load_b(Trans tb, const float* b, std::size_t ldb, std::size_t p, std::size_t j) {
+  return tb == Trans::N ? b[p * ldb + j] : b[j * ldb + p];
+}
+
+/// Packs A rows [i0, i0+mc) x depth [p0, p0+kc) into MR-row micro-panels:
+/// panel `ir` holds kc groups of MR consecutive-row elements (zero-padded
+/// past mc), so the micro-kernel reads A with stride 1.
+void pack_a(Trans ta, const float* a, std::size_t lda, std::size_t i0, std::size_t mc,
+            std::size_t p0, std::size_t kc, float* ap) {
+  const std::size_t mp = ceil_div(mc, kMR);
+  for (std::size_t ir = 0; ir < mp; ++ir) {
+    float* panel = ap + ir * kc * kMR;
+    const std::size_t rows = std::min(kMR, mc - ir * kMR);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t r = 0; r < rows; ++r)
+        panel[p * kMR + r] = load_a(ta, a, lda, i0 + ir * kMR + r, p0 + p);
+      for (std::size_t r = rows; r < kMR; ++r) panel[p * kMR + r] = 0.0f;
+    }
+  }
+}
+
+/// Packs B depth [p0, p0+kc) x columns [j0, j0+nc) into NR-column
+/// micro-panels (zero-padded past nc), stride-1 for the micro-kernel.
+void pack_b(Trans tb, const float* b, std::size_t ldb, std::size_t p0, std::size_t kc,
+            std::size_t j0, std::size_t nc, float* bp) {
+  const std::size_t np = ceil_div(nc, kNR);
+  for (std::size_t jr = 0; jr < np; ++jr) {
+    float* panel = bp + jr * kc * kNR;
+    const std::size_t cols = std::min(kNR, nc - jr * kNR);
+    if (tb == Trans::N && cols == kNR) {
+      // Full-width panels from untransposed B copy contiguous row slices.
+      const float* src = b + p0 * ldb + j0 + jr * kNR;
+      for (std::size_t p = 0; p < kc; ++p)
+        std::memcpy(panel + p * kNR, src + p * ldb, kNR * sizeof(float));
+      continue;
+    }
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t c = 0; c < cols; ++c)
+        panel[p * kNR + c] = load_b(tb, b, ldb, p0 + p, j0 + jr * kNR + c);
+      for (std::size_t c = cols; c < kNR; ++c) panel[p * kNR + c] = 0.0f;
+    }
+  }
+}
+
+/// MR x NR micro-kernel over one packed KC slice. Always computes the full
+/// register tile (panels are zero-padded), then masks the store to the live
+/// mr x nr corner. `overwrite` selects C = acc vs C += acc — the only beta
+/// cases sgemm accepts.
+AIRFEDGA_KERNEL_CLONES
+void micro_kernel(std::size_t kc, const float* __restrict ap, const float* __restrict bp,
+                  float* __restrict c, std::size_t ldc, std::size_t mr, std::size_t nr,
+                  bool overwrite) {
+  float acc[kMR * kNR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* b = bp + p * kNR;
+    const float* a = ap + p * kMR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float ai = a[i];
+      float* row = acc + i * kNR;
+      for (std::size_t j = 0; j < kNR; ++j) row[j] += ai * b[j];
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    if (overwrite) {
+      for (std::size_t i = 0; i < kMR; ++i)
+        for (std::size_t j = 0; j < kNR; ++j) c[i * ldc + j] = acc[i * kNR + j];
+    } else {
+      for (std::size_t i = 0; i < kMR; ++i)
+        for (std::size_t j = 0; j < kNR; ++j) c[i * ldc + j] += acc[i * kNR + j];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < mr; ++i)
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (overwrite)
+        c[i * ldc + j] = acc[i * kNR + j];
+      else
+        c[i * ldc + j] += acc[i * kNR + j];
+    }
+}
+
+/// One (mc x nc) output tile: full ascending k loop in KC slices, packing
+/// into the calling thread's workspace. Tiles touch disjoint C ranges and
+/// each element's accumulation order depends only on k, so any assignment
+/// of tiles to threads yields identical bits.
+void gemm_tile(Trans ta, Trans tb, std::size_t k, const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float beta, float* c, std::size_t ldc, std::size_t i0,
+               std::size_t mc, std::size_t j0, std::size_t nc) {
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scope(ws);
+  const std::size_t mp = ceil_div(mc, kMR);
+  const std::size_t np = ceil_div(nc, kNR);
+  float* ap = ws.floats(mp * kMR * std::min(kKC, k));
+  float* bp = ws.floats(np * kNR * std::min(kKC, k));
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    pack_b(tb, b, ldb, p0, kc, j0, nc, bp);
+    pack_a(ta, a, lda, i0, mc, p0, kc, ap);
+    const bool overwrite = p0 == 0 && beta == 0.0f;
+    for (std::size_t jr = 0; jr < np; ++jr) {
+      const std::size_t nr = std::min(kNR, nc - jr * kNR);
+      for (std::size_t ir = 0; ir < mp; ++ir) {
+        const std::size_t mr = std::min(kMR, mc - ir * kMR);
+        micro_kernel(kc, ap + ir * kc * kMR, bp + jr * kc * kNR,
+                     c + (i0 + ir * kMR) * ldc + j0 + jr * kNR, ldc, mr, nr, overwrite);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const GemmBlocking& gemm_blocking() { return kBlocking; }
+
+std::size_t gemm_coop_min_flops() { return g_coop_min_flops.load(std::memory_order_relaxed); }
+void set_gemm_coop_min_flops(std::size_t flops) {
+  g_coop_min_flops.store(flops, std::memory_order_relaxed);
+}
+
+void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, const float* a,
+           std::size_t lda, const float* b, std::size_t ldb, float beta, float* c,
+           std::size_t ldc) {
+  if (beta != 0.0f && beta != 1.0f)
+    throw std::invalid_argument("sgemm: beta must be 0 (overwrite) or 1 (accumulate)");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (beta == 0.0f)
+      for (std::size_t i = 0; i < m; ++i) std::memset(c + i * ldc, 0, n * sizeof(float));
+    return;
+  }
+  const std::size_t nb = ceil_div(n, kNC);
+  const std::size_t tiles = ceil_div(m, kMC) * nb;
+  auto run_tile = [=](std::size_t t) {
+    const std::size_t i0 = (t / nb) * kMC;
+    const std::size_t j0 = (t % nb) * kNC;
+    gemm_tile(ta, tb, k, a, lda, b, ldb, beta, c, ldc, i0, std::min(kMC, m - i0), j0,
+              std::min(kNC, n - j0));
+  };
+  if (tiles == 1) {
+    run_tile(0);
+    return;
+  }
+  const std::size_t flops = 2 * m * n * k;
+  if (auto* pool = util::ThreadPool::cooperation_pool();
+      pool != nullptr && flops >= gemm_coop_min_flops()) {
+    // Training lane with idle lanes possibly available: recruit them. The
+    // tile -> C-range mapping is fixed, so helper participation can only
+    // change wall time, never bits.
+    pool->cooperate(tiles, run_tile);
+    return;
+  }
+  // Top-level data parallelism (serial under the nesting rule): grain sized
+  // so each chunk carries at least kMinFlopsPerTask of arithmetic — derived
+  // from the blocked tile size instead of the raw element count.
+  const std::size_t tile_flops =
+      2 * std::min(kMC, m) * std::min(kNC, n) * k;
+  const std::size_t grain =
+      std::clamp<std::size_t>(kMinFlopsPerTask / std::max<std::size_t>(tile_flops, 1), 1, tiles);
+  util::parallel_for(
+      tiles,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) run_tile(t);
+      },
+      grain);
+}
+
+void sgemm_reference(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+                     const float* a, std::size_t lda, const float* b, std::size_t ldb, float beta,
+                     float* c, std::size_t ldc) {
+  if (beta != 0.0f && beta != 1.0f)
+    throw std::invalid_argument("sgemm_reference: beta must be 0 or 1");
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) std::memset(crow, 0, n * sizeof(float));
+    if (ta == Trans::N && tb == Trans::T) {
+      // The seed's matmul_nt loop: dot products over contiguous rows.
+      const float* arow = a + i * lda;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+      continue;
+    }
+    // The seed's matmul/matmul_tn loop: rank-1 updates over contiguous rows.
+    for (std::size_t p = 0; p < k; ++p) {
+      const float ai = load_a(ta, a, lda, i, p);
+      if (tb == Trans::N) {
+        const float* brow = b + p * ldb;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += ai * brow[j];
+      } else {
+        for (std::size_t j = 0; j < n; ++j) crow[j] += ai * b[j * ldb + p];
+      }
+    }
+  }
+}
+
+}  // namespace airfedga::ml

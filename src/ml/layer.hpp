@@ -17,20 +17,30 @@ struct ParamView {
 
 /// Base class for all layers.
 ///
-/// Layers cache whatever they need from `forward` to compute `backward`;
-/// a layer instance therefore serves one in-flight (forward, backward)
-/// pair at a time, which matches the sequential training loop used by the
-/// federated workers (each mechanism keeps a single scratch model and
-/// swaps worker weights in and out as flat vectors).
+/// Layers own their output and input-gradient buffers and return them by
+/// reference from forward/backward: the buffers are resized in place
+/// (capacity reused) every call, so steady-state training allocates
+/// nothing. A layer instance therefore serves one in-flight (forward,
+/// backward) pair at a time, which matches the sequential training loop
+/// used by the federated workers (each mechanism keeps a single scratch
+/// model and swaps worker weights in and out as flat vectors).
+///
+/// Train/eval mode: in training mode (the default) `forward` caches
+/// whatever `backward` needs (inputs, masks, argmaxes); in eval mode those
+/// caches are skipped entirely, so inference does no gradient bookkeeping
+/// and `backward` throws until a training-mode forward runs.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual Tensor forward(const Tensor& x) = 0;
+  /// Computes the layer output into an internal buffer and returns it. The
+  /// reference is valid until the next forward call on this instance.
+  virtual const Tensor& forward(const Tensor& x) = 0;
 
   /// Given dL/d(output), accumulates parameter gradients and returns
-  /// dL/d(input). Must be called after `forward`.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// dL/d(input) (internal buffer, valid until the next backward call).
+  /// Must be called after a *training-mode* `forward`.
+  virtual const Tensor& backward(const Tensor& grad_out) = 0;
 
   /// Learnable parameter blocks (empty for stateless layers).
   virtual std::vector<ParamView> params() { return {}; }
@@ -38,7 +48,15 @@ class Layer {
   /// Re-draws the initial weights.
   virtual void init(util::Rng&) {}
 
+  /// Switches between training mode (backward caches kept) and eval mode
+  /// (no gradient bookkeeping).
+  void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const { return training_; }
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  bool training_ = true;
 };
 
 }  // namespace airfedga::ml

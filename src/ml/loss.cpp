@@ -12,7 +12,7 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits, std::span<const int> l
   if (labels.size() != batch)
     throw std::invalid_argument("SoftmaxCrossEntropy: label count != batch size");
 
-  probs_ = Tensor({batch, k});
+  probs_.resize_uninitialized({batch, k});
   labels_.assign(labels.begin(), labels.end());
   double loss = 0.0;
   for (std::size_t i = 0; i < batch; ++i) {
@@ -33,17 +33,17 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits, std::span<const int> l
   return loss / static_cast<double>(batch);
 }
 
-Tensor SoftmaxCrossEntropy::backward() const {
+const Tensor& SoftmaxCrossEntropy::backward() {
   if (probs_.size() == 0)
     throw std::logic_error("SoftmaxCrossEntropy::backward called before forward");
   const std::size_t batch = probs_.dim(0), k = probs_.dim(1);
-  Tensor grad = probs_;
+  grad_ = probs_;  // capacity reuse: no allocation in steady state
   const float inv_b = 1.0f / static_cast<float>(batch);
   for (std::size_t i = 0; i < batch; ++i) {
-    grad.at2(i, static_cast<std::size_t>(labels_[i])) -= 1.0f;
-    for (std::size_t j = 0; j < k; ++j) grad.at2(i, j) *= inv_b;
+    grad_.at2(i, static_cast<std::size_t>(labels_[i])) -= 1.0f;
+    for (std::size_t j = 0; j < k; ++j) grad_.at2(i, j) *= inv_b;
   }
-  return grad;
+  return grad_;
 }
 
 double accuracy(const Tensor& logits, std::span<const int> labels) {

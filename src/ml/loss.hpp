@@ -15,14 +15,16 @@ class SoftmaxCrossEntropy {
   /// logits: (B, K); labels: B class indices in [0, K).
   double forward(const Tensor& logits, std::span<const int> labels);
 
-  /// Gradient w.r.t. the logits of the last `forward` call.
-  Tensor backward() const;
+  /// Gradient w.r.t. the logits of the last `forward` call (internal
+  /// buffer, valid until the next backward call).
+  const Tensor& backward();
 
   /// Row-wise softmax probabilities of the last `forward` call.
   [[nodiscard]] const Tensor& probabilities() const { return probs_; }
 
  private:
   Tensor probs_;
+  Tensor grad_;
   std::vector<int> labels_;
 };
 

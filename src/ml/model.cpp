@@ -1,90 +1,122 @@
 #include "ml/model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
 namespace airfedga::ml {
 
-void Model::add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+void Model::add(std::unique_ptr<Layer> layer) {
+  layer->set_training(training_);
+  layers_.push_back(std::move(layer));
+  views_.clear();  // rebuilt lazily on next access
+  num_params_ = 0;
+}
 
 void Model::init(util::Rng& rng) {
   for (auto& l : layers_) l->init(rng);
 }
 
-Tensor Model::forward(const Tensor& x) {
-  Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h);
-  return h;
+const Tensor& Model::forward(const Tensor& x) {
+  const Tensor* h = &x;
+  for (auto& l : layers_) h = &l->forward(*h);
+  return *h;
+}
+
+void Model::set_training(bool training) {
+  training_ = training;
+  for (auto& l : layers_) l->set_training(training);
+}
+
+const std::vector<ParamView>& Model::views() const {
+  if (views_.empty()) {
+    std::size_t n = 0;
+    for (const auto& l : layers_)
+      for (auto& p : const_cast<Layer&>(*l).params()) {
+        n += p.value.size();
+        views_.push_back(p);
+      }
+    num_params_ = n;
+  }
+  return views_;
 }
 
 std::size_t Model::num_parameters() const {
-  std::size_t n = 0;
-  for (const auto& l : layers_)
-    for (const auto& p : const_cast<Layer&>(*l).params()) n += p.value.size();
-  return n;
+  views();
+  return num_params_;
+}
+
+void Model::parameters_into(std::vector<float>& out) const {
+  out.resize(num_parameters());
+  std::size_t off = 0;
+  for (const auto& p : views()) {
+    std::copy(p.value.begin(), p.value.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += p.value.size();
+  }
 }
 
 std::vector<float> Model::parameters() const {
   std::vector<float> flat;
-  flat.reserve(num_parameters());
-  for (const auto& l : layers_)
-    for (const auto& p : const_cast<Layer&>(*l).params())
-      flat.insert(flat.end(), p.value.begin(), p.value.end());
+  parameters_into(flat);
   return flat;
 }
 
 void Model::set_parameters(std::span<const float> flat) {
   std::size_t off = 0;
-  for (auto& l : layers_) {
-    for (auto& p : l->params()) {
-      if (off + p.value.size() > flat.size())
-        throw std::invalid_argument("Model::set_parameters: vector too short");
-      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
-                flat.begin() + static_cast<std::ptrdiff_t>(off + p.value.size()),
-                p.value.begin());
-      off += p.value.size();
-    }
+  for (const auto& p : views()) {
+    if (off + p.value.size() > flat.size())
+      throw std::invalid_argument("Model::set_parameters: vector too short");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + p.value.size()), p.value.begin());
+    off += p.value.size();
   }
   if (off != flat.size())
     throw std::invalid_argument("Model::set_parameters: vector length mismatch");
 }
 
+void Model::gradients_into(std::vector<float>& out) const {
+  out.resize(num_parameters());
+  std::size_t off = 0;
+  for (const auto& p : views()) {
+    std::copy(p.grad.begin(), p.grad.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += p.grad.size();
+  }
+}
+
 std::vector<float> Model::gradients() const {
   std::vector<float> flat;
-  flat.reserve(num_parameters());
-  for (const auto& l : layers_)
-    for (const auto& p : const_cast<Layer&>(*l).params())
-      flat.insert(flat.end(), p.grad.begin(), p.grad.end());
+  gradients_into(flat);
   return flat;
 }
 
 void Model::zero_grad() {
-  for (auto& l : layers_)
-    for (auto& p : l->params()) std::fill(p.grad.begin(), p.grad.end(), 0.0f);
+  for (const auto& p : views()) std::fill(p.grad.begin(), p.grad.end(), 0.0f);
 }
 
 double Model::compute_gradient(const Tensor& x, std::span<const int> y,
                                std::vector<float>& grad_out) {
+  if (!training_) set_training(true);
   zero_grad();
-  Tensor logits = forward(x);
+  const Tensor& logits = forward(x);
   const double loss = loss_.forward(logits, y);
-  Tensor grad = loss_.backward();
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
-  grad_out = gradients();
+  const Tensor* grad = &loss_.backward();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = &(*it)->backward(*grad);
+  gradients_into(grad_out);
   return loss;
 }
 
 double Model::train_step(const Tensor& x, std::span<const int> y, float lr) {
+  if (!training_) set_training(true);
   zero_grad();
-  Tensor logits = forward(x);
+  const Tensor& logits = forward(x);
   const double loss = loss_.forward(logits, y);
-  Tensor grad = loss_.backward();
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
-  for (auto& l : layers_)
-    for (auto& p : l->params())
-      for (std::size_t i = 0; i < p.value.size(); ++i) p.value[i] -= lr * p.grad[i];
+  const Tensor* grad = &loss_.backward();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = &(*it)->backward(*grad);
+  for (const auto& p : views())
+    for (std::size_t i = 0; i < p.value.size(); ++i) p.value[i] -= lr * p.grad[i];
   return loss;
 }
 
@@ -109,10 +141,16 @@ EvalSums Model::evaluate_range(const Tensor& xs, std::span<const int> ys, std::s
   if (ys.size() != n) throw std::invalid_argument("Model::evaluate_range: label count mismatch");
   if (begin > end || end > n) throw std::invalid_argument("Model::evaluate_range: bad range");
   if (begin == end) return {};
-  std::vector<std::size_t> idx(end - begin);
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = begin + i;
-  Tensor xb = gather_rows(xs, idx);
-  Tensor logits = forward(xb);
+  if (training_) set_training(false);
+  // Contiguous row-range copy into the reused eval batch buffer.
+  const std::size_t row = xs.size() / n;
+  std::array<std::size_t, 4> shape{};
+  for (std::size_t i = 0; i < xs.rank(); ++i) shape[i] = xs.dim(i);
+  shape[0] = end - begin;
+  eval_batch_.resize_uninitialized(std::span<const std::size_t>(shape.data(), xs.rank()));
+  std::memcpy(eval_batch_.data().data(), xs.data().data() + begin * row,
+              (end - begin) * row * sizeof(float));
+  const Tensor& logits = forward(eval_batch_);
   std::span<const int> yb(ys.data() + begin, end - begin);
   const auto count = static_cast<double>(end - begin);
   return {loss_.forward(logits, yb) * count, accuracy(logits, yb) * count};
@@ -151,17 +189,23 @@ std::vector<float> load_parameters(const std::string& path) {
   return params;
 }
 
-Tensor gather_rows(const Tensor& xs, std::span<const std::size_t> indices) {
+void gather_rows_into(Tensor& out, const Tensor& xs, std::span<const std::size_t> indices) {
   const std::size_t row = xs.size() / xs.dim(0);
-  std::vector<std::size_t> shape = xs.shape();
+  std::array<std::size_t, 4> shape{};
+  for (std::size_t i = 0; i < xs.rank(); ++i) shape[i] = xs.dim(i);
   shape[0] = indices.size();
-  Tensor out(shape);
+  out.resize_uninitialized(std::span<const std::size_t>(shape.data(), xs.rank()));
   const float* src = xs.data().data();
   float* dst = out.data().data();
   for (std::size_t i = 0; i < indices.size(); ++i) {
     if (indices[i] >= xs.dim(0)) throw std::out_of_range("gather_rows: index out of range");
     std::copy(src + indices[i] * row, src + (indices[i] + 1) * row, dst + i * row);
   }
+}
+
+Tensor gather_rows(const Tensor& xs, std::span<const std::size_t> indices) {
+  Tensor out;
+  gather_rows_into(out, xs, indices);
   return out;
 }
 

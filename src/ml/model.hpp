@@ -32,6 +32,11 @@ struct EvalSums {
 /// vector (that is exactly what is transmitted over the air, Eq. 9), so the
 /// central API here is `parameters()` / `set_parameters()` round-tripping,
 /// plus gradient evaluation at the currently-loaded parameters.
+///
+/// Allocation discipline: layers reuse their output/gradient buffers, the
+/// flat-vector helpers have `_into` variants, and parameter views are
+/// cached after the first walk — so once shapes reach steady state, a
+/// train_step performs zero heap allocations (gemm_test pins this down).
 class Model {
  public:
   Model() = default;
@@ -47,16 +52,28 @@ class Model {
   /// Re-draws all layer weights from `rng`.
   void init(util::Rng& rng);
 
-  Tensor forward(const Tensor& x);
+  /// Runs the layer stack; the returned reference points at the last
+  /// layer's output buffer (valid until the next forward on this model).
+  const Tensor& forward(const Tensor& x);
+
+  /// Training mode caches backward state in the layers; eval mode skips all
+  /// gradient bookkeeping (train_step/compute_gradient switch to training,
+  /// evaluate/evaluate_range to eval, so explicit calls are rarely needed).
+  void set_training(bool training);
+  [[nodiscard]] bool is_training() const { return training_; }
 
   [[nodiscard]] std::size_t num_parameters() const;
 
   /// Flattened copy of all parameter blocks, in layer order.
   [[nodiscard]] std::vector<float> parameters() const;
+  /// `parameters()` into a reused vector (no allocation at steady capacity).
+  void parameters_into(std::vector<float>& out) const;
   void set_parameters(std::span<const float> flat);
 
   /// Flattened copy of the accumulated gradients.
   [[nodiscard]] std::vector<float> gradients() const;
+  /// `gradients()` into a reused vector (no allocation at steady capacity).
+  void gradients_into(std::vector<float>& out) const;
   void zero_grad();
 
   /// Computes mean loss on (x, y), leaves gradients accumulated in the
@@ -81,8 +98,15 @@ class Model {
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
 
  private:
+  /// Parameter views walked once and cached (layer buffers are stable).
+  const std::vector<ParamView>& views() const;
+
   std::vector<std::unique_ptr<Layer>> layers_;
   SoftmaxCrossEntropy loss_;
+  bool training_ = true;
+  mutable std::vector<ParamView> views_;
+  mutable std::size_t num_params_ = 0;
+  Tensor eval_batch_;  ///< reused row-range buffer for evaluate_range
 };
 
 /// Builds fresh model instances; every FL mechanism owns one factory so all
@@ -91,6 +115,9 @@ using ModelFactory = std::function<Model()>;
 
 /// Extracts rows `indices` of `xs` along dimension 0 (works for 2-D and 4-D).
 Tensor gather_rows(const Tensor& xs, std::span<const std::size_t> indices);
+
+/// `gather_rows` into a reused tensor (no allocation at steady capacity).
+void gather_rows_into(Tensor& out, const Tensor& xs, std::span<const std::size_t> indices);
 
 /// Checkpointing: writes/reads a flat parameter vector in a small binary
 /// format (magic + length + raw floats). `load_parameters` validates the

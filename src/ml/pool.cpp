@@ -9,17 +9,19 @@ MaxPool2D::MaxPool2D(std::size_t window) : win_(window) {
   if (window == 0) throw std::invalid_argument("MaxPool2D: window must be >= 1");
 }
 
-Tensor MaxPool2D::forward(const Tensor& x) {
+const Tensor& MaxPool2D::forward(const Tensor& x) {
   if (x.rank() != 4) throw std::invalid_argument("MaxPool2D::forward: expected NCHW input");
   const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h % win_ != 0 || w % win_ != 0)
     throw std::invalid_argument("MaxPool2D::forward: spatial dims not divisible by window");
   const std::size_t oh = h / win_, ow = w / win_;
-  input_shape_ = x.shape();
-  Tensor y({batch, ch, oh, ow});
-  argmax_.assign(y.size(), 0);
+  out_.resize_uninitialized({batch, ch, oh, ow});
+  if (training_) {
+    input_shape_.assign(x.shape().begin(), x.shape().end());
+    argmax_.resize(out_.size());
+  }
   const float* px = x.data().data();
-  float* py = y.data().data();
+  float* py = out_.data().data();
   std::size_t out_idx = 0;
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t c = 0; c < ch; ++c) {
@@ -38,22 +40,23 @@ Tensor MaxPool2D::forward(const Tensor& x) {
             }
           }
           py[out_idx] = best;
-          argmax_[out_idx] = best_idx;
+          if (training_) argmax_[out_idx] = best_idx;
         }
       }
     }
   }
-  return y;
+  return out_;
 }
 
-Tensor MaxPool2D::backward(const Tensor& grad_out) {
+const Tensor& MaxPool2D::backward(const Tensor& grad_out) {
+  if (!training_) throw std::logic_error("MaxPool2D::backward: requires a training-mode forward");
   if (grad_out.size() != argmax_.size())
     throw std::invalid_argument("MaxPool2D::backward: shape mismatch with cached forward");
-  Tensor dx(input_shape_);
-  float* pd = dx.data().data();
+  dx_.resize_zero(input_shape_);
+  float* pd = dx_.data().data();
   const float* pg = grad_out.data().data();
   for (std::size_t i = 0; i < grad_out.size(); ++i) pd[argmax_[i]] += pg[i];
-  return dx;
+  return dx_;
 }
 
 }  // namespace airfedga::ml

@@ -10,14 +10,16 @@ class MaxPool2D : public Layer {
  public:
   explicit MaxPool2D(std::size_t window = 2);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
 
  private:
   std::size_t win_;
-  std::vector<std::size_t> argmax_;       // flat input index of each output cell
+  std::vector<std::size_t> argmax_;       // flat input index of each output cell (training only)
   std::vector<std::size_t> input_shape_;
+  Tensor out_;
+  Tensor dx_;
 };
 
 }  // namespace airfedga::ml

@@ -1,41 +1,110 @@
 #include "ml/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
-#include "util/thread_pool.hpp"
+#include "ml/gemm.hpp"
 
 namespace airfedga::ml {
 
 namespace {
-std::size_t shape_product(const std::vector<std::size_t>& shape) {
+std::size_t shape_product(std::span<const std::size_t> shape) {
   std::size_t n = 1;
   for (auto d : shape) n *= d;
   return n;
 }
-}  // namespace
 
-Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(shape_product(shape_), 0.0f) {
-  if (shape_.empty() || shape_.size() > 4)
+void check_rank(std::span<const std::size_t> shape) {
+  if (shape.empty() || shape.size() > 4)
     throw std::invalid_argument("Tensor: rank must be 1..4");
 }
+}  // namespace
 
-Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  if (shape_.empty() || shape_.size() > 4)
-    throw std::invalid_argument("Tensor: rank must be 1..4");
-  if (data_.size() != shape_product(shape_))
+void Tensor::set_shape_checked(std::span<const std::size_t> shape) {
+  check_rank(shape);
+  shape_.assign(shape.begin(), shape.end());
+  size_ = shape_product(shape);
+}
+
+void Tensor::ensure_capacity(std::size_t n) {
+  if (n <= capacity_) return;
+  // Old contents are never preserved across growth (every resize path is
+  // either uninitialized or immediately overwritten), so allocate fresh.
+  data_.reset(new float[n]);
+  capacity_ = n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape) {
+  set_shape_checked(shape);
+  ensure_capacity(size_);
+  std::fill_n(data_.get(), size_, 0.0f);
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data) {
+  set_shape_checked(shape);
+  if (data.size() != size_)
     throw std::invalid_argument("Tensor: data size does not match shape");
+  ensure_capacity(size_);
+  std::copy(data.begin(), data.end(), data_.get());
+}
+
+Tensor::Tensor(const Tensor& other) {
+  shape_ = other.shape_;
+  size_ = other.size_;
+  ensure_capacity(size_);
+  if (size_ > 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(float));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;  // reuses the shape vector's capacity
+  size_ = other.size_;
+  ensure_capacity(size_);
+  if (size_ > 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(float));
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      size_(other.size_),
+      capacity_(other.capacity_) {
+  other.shape_.clear();
+  other.size_ = 0;
+  other.capacity_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.shape_.clear();
+  other.size_ = 0;
+  other.capacity_ = 0;
+  return *this;
 }
 
 Tensor Tensor::zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
 
+Tensor Tensor::uninitialized(std::span<const std::size_t> shape) {
+  Tensor t;
+  t.set_shape_checked(shape);
+  t.ensure_capacity(t.size_);
+  return t;
+}
+
+Tensor Tensor::uninitialized(std::initializer_list<std::size_t> shape) {
+  return uninitialized(std::span<const std::size_t>(shape.begin(), shape.size()));
+}
+
 Tensor Tensor::randn(std::vector<std::size_t> shape, util::Rng& rng, float stddev) {
-  Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  Tensor t = uninitialized(shape);
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal(0.0, stddev));
   return t;
 }
 
@@ -48,14 +117,42 @@ float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) co
 }
 
 Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  check_rank(new_shape);
   if (shape_product(new_shape) != size())
     throw std::invalid_argument("Tensor::reshaped: size mismatch");
-  return Tensor(std::move(new_shape), data_);
+  Tensor t = uninitialized(new_shape);
+  if (size_ > 0) std::memcpy(t.data_.get(), data_.get(), size_ * sizeof(float));
+  return t;
 }
 
-void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::resize_uninitialized(std::span<const std::size_t> shape) {
+  set_shape_checked(shape);
+  ensure_capacity(size_);
+}
 
-double Tensor::norm() const { return std::sqrt(squared_norm(data_)); }
+void Tensor::resize_uninitialized(std::initializer_list<std::size_t> shape) {
+  resize_uninitialized(std::span<const std::size_t>(shape.begin(), shape.size()));
+}
+
+void Tensor::resize_zero(std::span<const std::size_t> shape) {
+  resize_uninitialized(shape);
+  std::fill_n(data_.get(), size_, 0.0f);
+}
+
+void Tensor::assign_reshaped(const Tensor& src, std::span<const std::size_t> shape) {
+  if (shape_product(shape) != src.size())
+    throw std::invalid_argument("Tensor::assign_reshaped: size mismatch");
+  resize_uninitialized(shape);
+  if (size_ > 0) std::memcpy(data_.get(), src.data_.get(), size_ * sizeof(float));
+}
+
+void Tensor::assign_reshaped(const Tensor& src, std::initializer_list<std::size_t> shape) {
+  assign_reshaped(src, std::span<const std::size_t>(shape.begin(), shape.size()));
+}
+
+void Tensor::fill(float v) { std::fill_n(data_.get(), size_, v); }
+
+double Tensor::norm() const { return std::sqrt(squared_norm(data())); }
 
 std::string Tensor::shape_string() const {
   std::ostringstream ss;
@@ -71,86 +168,66 @@ void check_matrix(const Tensor& t, const char* who) {
 }
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b, bool accumulate) {
   check_matrix(a, "matmul");
   check_matrix(b, "matmul");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dimensions differ");
-  Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // (i,k,j) loop order: B rows are read contiguously, so the inner j-loop
-  // auto-vectorizes. Parallel across output rows.
-  util::parallel_for(
-      m,
-      [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          float* crow = pc + i * n;
-          const float* arow = pa + i * k;
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            const float* brow = pb + kk * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      /*grain=*/std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
-  return c;
+  if (accumulate) {
+    if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n)
+      throw std::invalid_argument("matmul: accumulate target has wrong shape");
+  } else {
+    c.resize_uninitialized({m, n});
+  }
+  sgemm(Trans::N, Trans::N, m, n, k, a.data().data(), k, b.data().data(), n,
+        accumulate ? 1.0f : 0.0f, c.data().data(), n);
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b, bool accumulate) {
   check_matrix(a, "matmul_nt");
   check_matrix(b, "matmul_nt");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dimensions differ");
-  Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  util::parallel_for(
-      m,
-      [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float* arow = pa + i * k;
-          float* crow = pc + i * n;
-          for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-          }
-        }
-      },
-      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
-  return c;
+  if (accumulate) {
+    if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n)
+      throw std::invalid_argument("matmul_nt: accumulate target has wrong shape");
+  } else {
+    c.resize_uninitialized({m, n});
+  }
+  sgemm(Trans::N, Trans::T, m, n, k, a.data().data(), k, b.data().data(), k,
+        accumulate ? 1.0f : 0.0f, c.data().data(), n);
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b, bool accumulate) {
   check_matrix(a, "matmul_tn");
   check_matrix(b, "matmul_tn");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != m) throw std::invalid_argument("matmul_tn: outer dimensions differ");
-  Tensor c({k, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // C[kk][j] = sum_i A[i][kk] * B[i][j]; parallelize over kk-chunks so each
-  // worker owns disjoint output rows (no atomics needed).
-  util::parallel_for(
-      k,
-      [&](std::size_t k0, std::size_t k1) {
-        for (std::size_t i = 0; i < m; ++i) {
-          const float* arow = pa + i * k;
-          const float* brow = pb + i * n;
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const float av = arow[kk];
-            float* crow = pc + kk * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, m * n)));
+  if (accumulate) {
+    if (c.rank() != 2 || c.dim(0) != k || c.dim(1) != n)
+      throw std::invalid_argument("matmul_tn: accumulate target has wrong shape");
+  } else {
+    c.resize_uninitialized({k, n});
+  }
+  sgemm(Trans::T, Trans::N, k, n, m, a.data().data(), k, b.data().data(), n,
+        accumulate ? 1.0f : 0.0f, c.data().data(), n);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(c, a, b);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_nt_into(c, a, b);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_tn_into(c, a, b);
   return c;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,23 +17,43 @@ namespace airfedga::ml {
 /// mechanisms operate on *flattened parameter vectors*, so the tensor type
 /// only needs the shapes that appear in the paper's models (2-D activations
 /// for dense layers, 4-D NCHW activations for the CNN/VGG models).
+///
+/// Storage is an owned capacity-tracked buffer (not std::vector) so the
+/// training hot path gets two things vectors cannot give it: an
+/// *uninitialized* construction/resize path for outputs every kernel fully
+/// overwrites (no redundant zero-fill), and shape changes that reuse
+/// capacity so steady-state training performs zero heap allocations (layer
+/// output/gradient buffers are resized to the same shapes step after step).
 class Tensor {
  public:
   Tensor() = default;
+  /// Zero-filled tensor of `shape` (rank 1..4).
   explicit Tensor(std::vector<std::size_t> shape);
+  /// Tensor of `shape` holding a copy of `data` (sizes must match).
   Tensor(std::vector<std::size_t> shape, std::vector<float> data);
 
+  Tensor(const Tensor& other);
+  /// Deep copy; reuses this tensor's existing capacity when it suffices.
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
+
   static Tensor zeros(std::vector<std::size_t> shape);
+  /// Tensor of `shape` with *unspecified* contents — for outputs the caller
+  /// fully overwrites. Skips the zero-fill Tensor(shape) performs.
+  static Tensor uninitialized(std::span<const std::size_t> shape);
+  static Tensor uninitialized(std::initializer_list<std::size_t> shape);
   /// N(0, stddev) entries drawn from `rng`.
   static Tensor randn(std::vector<std::size_t> shape, util::Rng& rng, float stddev = 1.0f);
 
   [[nodiscard]] const std::vector<std::size_t>& shape() const { return shape_; }
   [[nodiscard]] std::size_t rank() const { return shape_.size(); }
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
 
-  [[nodiscard]] std::span<float> data() { return data_; }
-  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] std::span<float> data() { return {data_.get(), size_}; }
+  [[nodiscard]] std::span<const float> data() const { return {data_.get(), size_}; }
 
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
@@ -48,6 +70,20 @@ class Tensor {
   /// data under a new shape (sizes must match).
   [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+  /// Reshapes in place to `shape` without preserving or initializing the
+  /// contents (the fully-overwritten-output path). Existing capacity is
+  /// reused, so repeated calls with steady shapes never allocate.
+  void resize_uninitialized(std::span<const std::size_t> shape);
+  void resize_uninitialized(std::initializer_list<std::size_t> shape);
+
+  /// `resize_uninitialized` followed by a zero fill (for accumulators).
+  void resize_zero(std::span<const std::size_t> shape);
+
+  /// Copies `src`'s contents into this tensor under shape `shape` (sizes
+  /// must match); capacity is reused. Used by shape-adapter layers.
+  void assign_reshaped(const Tensor& src, std::span<const std::size_t> shape);
+  void assign_reshaped(const Tensor& src, std::initializer_list<std::size_t> shape);
+
   void fill(float v);
 
   /// Frobenius norm of the entries.
@@ -56,11 +92,16 @@ class Tensor {
   [[nodiscard]] std::string shape_string() const;
 
  private:
+  void set_shape_checked(std::span<const std::size_t> shape);
+  void ensure_capacity(std::size_t n);
+
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  std::unique_ptr<float[]> data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
-/// C(M,N) = A(M,K) * B(K,N). Parallelized over rows of A.
+/// C(M,N) = A(M,K) * B(K,N). Backed by the blocked kernel layer (gemm.hpp).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C(M,N) = A(M,K) * B(N,K)^T.
@@ -68,6 +109,13 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 /// C(K,N) = A(M,K)^T * B(M,N).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// In-place variants: resize `c` (reusing capacity) and overwrite it, or
+/// accumulate into it when `accumulate` is true (c must already have the
+/// result shape). `c` must not alias `a` or `b`.
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b, bool accumulate = false);
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b, bool accumulate = false);
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b, bool accumulate = false);
 
 /// y += x (elementwise; sizes must match).
 void add_inplace(Tensor& y, const Tensor& x);

@@ -284,6 +284,11 @@ Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
   if (opts.timing) {
     engine.set("barrier_seconds", es.barrier_seconds);
     engine.set("eval_seconds", es.eval_seconds);
+    // Cooperation counters depend on when lanes happened to be idle, so
+    // they are wall-clock-like (run-to-run variable) and --no-timing must
+    // omit them to keep result files byte-comparable.
+    engine.set("coop_gemms", es.coop_gemms);
+    engine.set("coop_helper_tiles", es.coop_helper_tiles);
   }
   engine.set("barriers", es.barriers);
   engine.set("evals", es.evals);

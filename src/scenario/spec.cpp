@@ -79,6 +79,15 @@ class Reader {
     if (const Json* v = take(key)) out = static_cast<std::uint64_t>(expect_count(key, *v));
   }
 
+  void boolean(const char* key, bool& out) {
+    if (const Json* v = take(key)) {
+      if (!v->is_bool())
+        throw std::invalid_argument(field(key) + ": expected a boolean, got " +
+                                    Json::type_name(v->type()));
+      out = v->as_bool();
+    }
+  }
+
   void str(const char* key, std::string& out) {
     if (const Json* v = take(key)) {
       if (!v->is_string())
@@ -215,6 +224,7 @@ Json ScenarioSpec::to_json() const {
   ru.set("stop_at_accuracy", stop_at_accuracy);
   ru.set("seed", seed);
   ru.set("threads", threads);
+  ru.set("cooperative_gemm", cooperative_gemm);
   j.set("run", std::move(ru));
 
   Json mechs = Json::array();
@@ -327,6 +337,7 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     u.number("stop_at_accuracy", s.stop_at_accuracy);
     u.u64("seed", s.seed);
     u.count("threads", s.threads);
+    u.boolean("cooperative_gemm", s.cooperative_gemm);
     u.finish();
   }
 
@@ -584,6 +595,7 @@ BuiltScenario build(const ScenarioSpec& spec) {
   cfg.stop_at_accuracy = spec.stop_at_accuracy;
   cfg.seed = spec.seed;
   cfg.threads = spec.threads;
+  cfg.cooperative_gemm = spec.cooperative_gemm;
   cfg.validate();
 
   for (const auto& m : spec.mechanisms) {

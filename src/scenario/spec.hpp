@@ -102,7 +102,8 @@ struct ScenarioSpec {
   std::size_t eval_batch = 256;
   double stop_at_accuracy = -1.0;
   std::uint64_t seed = 42;
-  std::size_t threads = 0;  ///< training lanes (0 = hardware concurrency)
+  std::size_t threads = 0;       ///< training lanes (0 = hardware concurrency)
+  bool cooperative_gemm = true;  ///< idle lanes donate themselves to large GEMMs
 
   std::vector<MechanismSpec> mechanisms;
 

@@ -50,10 +50,17 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
-  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
-  auto p = permutation(n);
-  p.resize(k);
+  std::vector<std::size_t> p;
+  sample_without_replacement(n, k, p);
   return p;
+}
+
+void Rng::sample_without_replacement(std::size_t n, std::size_t k, std::vector<std::size_t>& out) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  out.resize(n);
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  shuffle(out);
+  out.resize(k);
 }
 
 }  // namespace airfedga::util

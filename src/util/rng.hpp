@@ -53,6 +53,10 @@ class Rng {
   /// Samples `k` distinct indices from [0, n) without replacement.
   std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
 
+  /// `sample_without_replacement` into a reused vector (no allocation at
+  /// steady capacity; identical draws to the allocating overload).
+  void sample_without_replacement(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
+
   /// Seed this generator was constructed with.
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <tuple>
+#include <vector>
+
+#include "fl/mechanisms.hpp"
+#include "ml/conv2d.hpp"
+#include "ml/gemm.hpp"
+#include "ml/model.hpp"
+#include "ml/workspace.hpp"
+#include "ml/zoo.hpp"
+#include "util/thread_pool.hpp"
+
+// Allocation-counting hook (shared with bench/micro_gemm.cpp): every
+// operator new in this binary bumps the counters, so a test can assert
+// that a region of the training hot path performs zero heap allocations.
+#include "support/alloc_hook.hpp"
+
+namespace {
+struct AllocStats {
+  std::size_t count;
+  std::size_t bytes;
+};
+
+AllocStats alloc_stats() {
+  const auto s = alloc_hook::stats();
+  return {s.count, s.bytes};
+}
+}  // namespace
+
+namespace airfedga::ml {
+namespace {
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> m(rows * cols);
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+/// Relative-tolerance comparison: the blocked kernel accumulates in a
+/// different (but fixed) order than the scalar reference, so values agree
+/// to rounding, not bitwise.
+void expect_close(const std::vector<float>& a, const std::vector<float>& b, std::size_t k,
+                  const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(k) + 1.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol + tol * std::abs(static_cast<double>(b[i])))
+        << what << " at " << i;
+}
+
+class SgemmShapes
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(SgemmShapes, AllVariantsMatchScalarReference) {
+  const auto [m, n, k] = GetParam();
+  for (const Trans ta : {Trans::N, Trans::T}) {
+    for (const Trans tb : {Trans::N, Trans::T}) {
+      for (const float beta : {0.0f, 1.0f}) {
+        const auto a = ta == Trans::N ? random_matrix(m, k, 1) : random_matrix(k, m, 1);
+        const auto b = tb == Trans::N ? random_matrix(k, n, 2) : random_matrix(n, k, 2);
+        const std::size_t lda = ta == Trans::N ? k : m;
+        const std::size_t ldb = tb == Trans::N ? n : k;
+        auto c = random_matrix(m, n, 3);  // nonzero start exercises beta
+        auto c_ref = c;
+        sgemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, beta, c.data(), n);
+        sgemm_reference(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, beta, c_ref.data(), n);
+        expect_close(c, c_ref, k,
+                     "m=" + std::to_string(m) + " n=" + std::to_string(n) +
+                         " k=" + std::to_string(k) + " ta=" + (ta == Trans::N ? "N" : "T") +
+                         " tb=" + (tb == Trans::N ? "N" : "T") +
+                         " beta=" + std::to_string(beta));
+      }
+    }
+  }
+}
+
+// Edge shapes around every blocking boundary: single rows/columns, sizes
+// straddling the MR/NR register tile, the MC/NC tile, and the KC depth
+// panel, plus the paper's conv-lowering shapes.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SgemmShapes,
+    testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 97, 5),   // 1xN
+                    std::make_tuple(97, 1, 5),                             // Nx1
+                    std::make_tuple(3, 33, 7),                             // sub-tile
+                    std::make_tuple(4, 32, 16),                            // exact MR/NR
+                    std::make_tuple(5, 33, 17),                            // MR/NR + 1
+                    std::make_tuple(64, 256, 256),                         // exact MC/NC/KC
+                    std::make_tuple(65, 257, 257),                         // MC/NC/KC + 1
+                    std::make_tuple(63, 255, 300),                         // MC/NC - 1, k > KC
+                    std::make_tuple(13, 150, 70),                          // fig05 conv2-like
+                    std::make_tuple(6, 200, 75)));                         // fig05 conv1-like
+
+TEST(Sgemm, KZeroRespectsBeta) {
+  auto c = random_matrix(3, 5, 4);
+  const auto before = c;
+  sgemm(Trans::N, Trans::N, 3, 5, 0, nullptr, 1, nullptr, 1, 1.0f, c.data(), 5);
+  EXPECT_EQ(c, before);  // beta=1: untouched
+  sgemm(Trans::N, Trans::N, 3, 5, 0, nullptr, 1, nullptr, 1, 0.0f, c.data(), 5);
+  for (float v : c) EXPECT_EQ(v, 0.0f);  // beta=0: zeroed
+}
+
+TEST(Sgemm, RejectsUnsupportedBeta) {
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f);
+  EXPECT_THROW(sgemm(Trans::N, Trans::N, 2, 2, 2, a.data(), 2, b.data(), 2, 0.5f, c.data(), 2),
+               std::invalid_argument);
+}
+
+TEST(Sgemm, BlockingGeometryIsExported) {
+  const auto& blk = gemm_blocking();
+  EXPECT_GT(blk.mr, 0u);
+  EXPECT_GT(blk.nr, 0u);
+  EXPECT_EQ(blk.mc % blk.mr, 0u);
+  EXPECT_EQ(blk.nc % blk.nr, 0u);
+}
+
+// ---------------------------------------------------------------- conv ----
+
+TEST(BatchedConv, ForwardMatchesPerSampleForward) {
+  const std::size_t batch = 5, cin = 3, cout = 4, img = 7;
+  Conv2D conv(cin, cout, 3, /*padding=*/1);
+  util::Rng rng(9);
+  conv.init(rng);
+  Tensor x = Tensor::randn({batch, cin, img, img}, rng);
+  const Tensor y = conv.forward(x);
+
+  for (std::size_t s = 0; s < batch; ++s) {
+    std::vector<std::size_t> idx = {s};
+    Tensor xs = gather_rows(x, idx);
+    const Tensor ys = conv.forward(xs);
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      const double ref = ys[i];
+      EXPECT_NEAR(y[s * ys.size() + i], ref, 1e-5 + 1e-5 * std::abs(ref))
+          << "sample " << s << " element " << i;
+    }
+  }
+}
+
+TEST(BatchedConv, BackwardMatchesPerSampleAccumulation) {
+  const std::size_t batch = 4, cin = 2, cout = 3, img = 6;
+  util::Rng rng(11);
+  Conv2D batched(cin, cout, 3, 1);
+  batched.init(rng);
+  Conv2D per_sample(cin, cout, 3, 1);
+  {  // identical weights
+    auto src = batched.params();
+    auto dst = per_sample.params();
+    for (std::size_t b = 0; b < src.size(); ++b)
+      std::copy(src[b].value.begin(), src[b].value.end(), dst[b].value.begin());
+  }
+  Tensor x = Tensor::randn({batch, cin, img, img}, rng);
+  Tensor g = Tensor::randn({batch, cout, img, img}, rng);
+
+  batched.forward(x);
+  const Tensor dx = batched.backward(g);
+
+  Tensor dx_ref = Tensor::zeros(x.shape());
+  for (std::size_t s = 0; s < batch; ++s) {
+    std::vector<std::size_t> idx = {s};
+    Tensor xs = gather_rows(x, idx);
+    Tensor gs = gather_rows(g, idx);
+    per_sample.forward(xs);
+    const Tensor dxs = per_sample.backward(gs);
+    for (std::size_t i = 0; i < dxs.size(); ++i) dx_ref[s * dxs.size() + i] = dxs[i];
+  }
+
+  const std::size_t kdim = cin * 3 * 3 * img * img;  // accumulation depth scale
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    EXPECT_NEAR(dx[i], dx_ref[i], 1e-4) << "dx element " << i;
+  auto gb = batched.params();
+  auto gp = per_sample.params();
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(kdim));
+  for (std::size_t b = 0; b < gb.size(); ++b)
+    for (std::size_t i = 0; i < gb[b].grad.size(); ++i)
+      EXPECT_NEAR(gb[b].grad[i], gp[b].grad[i],
+                  tol + tol * std::abs(static_cast<double>(gp[b].grad[i])))
+          << "grad block " << b << " element " << i;
+}
+
+// Forward lowering is chunked so evaluation-sized batches don't pin
+// eval-sized workspace blocks forever. Chunking must not change bits: the
+// per-element k-order is untouched and chunks partition the output, so a
+// big (chunked) batch must reproduce small (unchunked) batches exactly.
+TEST(BatchedConv, ChunkedForwardBitIdenticalToSmallBatches) {
+  // rows=8*5*5=200, np=28*28=784 -> 156800 floats/sample: a batch of 32
+  // exceeds the 4M-float lowering cap, forcing chunks of 26 + 6 samples.
+  const std::size_t batch = 32, cin = 8, cout = 16, img = 32;
+  Conv2D conv(cin, cout, 5, /*padding=*/0);
+  util::Rng rng(15);
+  conv.init(rng);
+  Tensor x = Tensor::randn({batch, cin, img, img}, rng);
+  const Tensor y = conv.forward(x);
+
+  const std::size_t half = batch / 2;
+  std::vector<std::size_t> idx(half);
+  for (std::size_t part = 0; part < 2; ++part) {
+    for (std::size_t i = 0; i < half; ++i) idx[i] = part * half + i;
+    Tensor xh = gather_rows(x, idx);
+    const Tensor yh = conv.forward(xh);
+    for (std::size_t i = 0; i < yh.size(); ++i)
+      ASSERT_EQ(y[part * yh.size() + i], yh[i]) << "part " << part << " element " << i;
+  }
+}
+
+// ----------------------------------------------------------- workspace ----
+
+TEST(Workspace, ScopeRewindsAndBlocksAreRetained) {
+  Workspace ws;
+  {
+    Workspace::Scope outer(ws);
+    float* a = ws.floats(1000);
+    a[0] = 1.0f;
+    {
+      Workspace::Scope inner(ws);
+      float* b = ws.floats(1 << 20);  // forces a second block
+      b[0] = 2.0f;
+    }
+    // Inner scope rewound: the same request reuses the retained block.
+    const std::size_t blocks = ws.blocks_allocated();
+    Workspace::Scope inner2(ws);
+    float* c = ws.floats(1 << 20);
+    c[0] = 3.0f;
+    EXPECT_EQ(ws.blocks_allocated(), blocks);
+    EXPECT_EQ(a[0], 1.0f);  // outer allocation untouched
+  }
+  EXPECT_GT(ws.floats_reserved(), 0u);
+}
+
+TEST(Workspace, SteadyStateTrainingAllocatesNoNewBlocks) {
+  // Mixed batch sizes exercise rewind/reuse across differently-sized
+  // im2col buffers; under the ASan CI leg this also proves the workspace
+  // pointers stay in bounds across reuse.
+  auto model = make_cnn_mnist(0.15, 12);
+  util::Rng rng(13);
+  model.init(rng);
+  std::vector<int> y8(8), y4(4);
+  for (int i = 0; i < 8; ++i) y8[static_cast<std::size_t>(i)] = i % 10;
+  for (int i = 0; i < 4; ++i) y4[static_cast<std::size_t>(i)] = i % 10;
+  Tensor x8 = Tensor::randn({8, 1, 12, 12}, rng);
+  Tensor x4 = Tensor::randn({4, 1, 12, 12}, rng);
+  for (int warm = 0; warm < 2; ++warm) {
+    model.train_step(x8, y8, 0.01f);
+    model.train_step(x4, y4, 0.01f);
+  }
+  const std::size_t blocks = Workspace::tls().blocks_allocated();
+  for (int s = 0; s < 3; ++s) {
+    model.train_step(x8, y8, 0.01f);
+    model.train_step(x4, y4, 0.01f);
+  }
+  EXPECT_EQ(Workspace::tls().blocks_allocated(), blocks);
+}
+
+// ------------------------------------------------------- zero allocation --
+
+TEST(ZeroAllocation, SteadyStateTrainStepDoesNotTouchTheHeap) {
+  // Pin the kernels to the serial schedule: this is exactly the per-lane
+  // training configuration (the nesting rule serializes parallel_for on
+  // lanes), and it keeps the measurement free of pool-dispatch allocations.
+  util::ThreadPool::SerialRegion serial;
+
+  auto model = make_cnn_mnist(0.15, 12);
+  util::Rng rng(17);
+  model.init(rng);
+  const std::size_t batch = 8;
+  Tensor x = Tensor::randn({batch, 1, 12, 12}, rng);
+  std::vector<int> y(batch);
+  for (std::size_t i = 0; i < batch; ++i) y[i] = static_cast<int>(i % 10);
+
+  for (int warm = 0; warm < 3; ++warm) model.train_step(x, y, 0.01f);
+
+  const AllocStats before = alloc_stats();
+  double loss = 0.0;
+  for (int s = 0; s < 5; ++s) loss += model.train_step(x, y, 0.01f);
+  const AllocStats after = alloc_stats();
+
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_EQ(after.count - before.count, 0u)
+      << "steady-state train_step allocated " << (after.bytes - before.bytes) << " bytes across "
+      << (after.count - before.count) << " allocations";
+}
+
+TEST(ZeroAllocation, SteadyStateLocalUpdateDoesNotTouchTheHeap) {
+  util::ThreadPool::SerialRegion serial;
+
+  data::TrainTest data;
+  data.train = data::make_synthetic_flat(16, {200, 4, 1.0, 0.3, 21});
+  std::vector<std::size_t> shard(40);
+  for (std::size_t i = 0; i < shard.size(); ++i) shard[i] = i;
+  fl::Worker worker(0, data.train, shard, util::Rng(3));
+  auto model = make_mlp(16, 4, 32);
+  util::Rng rng(23);
+  model.init(rng);
+  const auto global = model.parameters();
+
+  for (int warm = 0; warm < 3; ++warm) worker.local_update(model, global, 0.05f, 2, 8);
+
+  const AllocStats before = alloc_stats();
+  worker.local_update(model, global, 0.05f, 2, 8);
+  const AllocStats after = alloc_stats();
+
+  EXPECT_EQ(after.count - before.count, 0u)
+      << "steady-state local_update allocated " << (after.bytes - before.bytes) << " bytes";
+}
+
+// ---------------------------------------------------------- cooperation ---
+
+TEST(CooperativeGemm, CooperateRunsEveryTileExactlyOnce) {
+  util::ThreadPool pool(3);
+  constexpr std::size_t kTiles = 64;
+  std::vector<std::atomic<int>> hits(kTiles);
+  for (auto& h : hits) h.store(0);
+  // Run from a pool task so helpers are recruited from genuinely idle
+  // workers, like a training lane would.
+  pool.submit([&] {
+      pool.cooperate(kTiles, [&](std::size_t t) { hits[t].fetch_add(1); });
+    }).get();
+  for (std::size_t t = 0; t < kTiles; ++t) EXPECT_EQ(hits[t].load(), 1) << "tile " << t;
+}
+
+TEST(CooperativeGemm, CooperatePropagatesExceptions) {
+  util::ThreadPool pool(2);
+  auto fut = pool.submit([&] {
+    pool.cooperate(16, [](std::size_t t) {
+      if (t == 7) throw std::runtime_error("tile failure");
+    });
+  });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(CooperativeGemm, InlineWhenNoWorkers) {
+  util::ThreadPool pool(0);
+  std::vector<int> hits(8, 0);
+  pool.cooperate(8, [&](std::size_t t) { ++hits[t]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CooperativeGemm, CooperativeResultIsBitIdenticalToSerial) {
+  const std::size_t m = 70, n = 300, k = 150;
+  const auto a = random_matrix(m, k, 31);
+  const auto b = random_matrix(k, n, 32);
+  std::vector<float> c_serial(m * n, 0.0f), c_coop(m * n, 0.0f);
+  {
+    util::ThreadPool::SerialRegion serial;
+    sgemm(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n, 0.0f, c_serial.data(), n);
+  }
+  const std::size_t saved = gemm_coop_min_flops();
+  set_gemm_coop_min_flops(0);  // force cooperation regardless of size
+  util::ThreadPool pool(3);
+  pool.submit([&] {
+        util::ThreadPool::CooperationScope coop(pool);
+        sgemm(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n, 0.0f, c_coop.data(), n);
+      })
+      .get();
+  set_gemm_coop_min_flops(saved);
+  for (std::size_t i = 0; i < c_serial.size(); ++i)
+    ASSERT_EQ(c_serial[i], c_coop[i]) << "element " << i;
+}
+
+// The acceptance criterion's digest sweep, at test scale: a CNN federated
+// run must produce bit-identical metrics across 1/2/4 training lanes with
+// cooperative GEMM forced on for every kernel call.
+TEST(CooperativeGemm, TrainingDigestsBitIdenticalAcrossLaneCounts) {
+  const std::size_t saved = gemm_coop_min_flops();
+  set_gemm_coop_min_flops(0);
+
+  data::TrainTest data;
+  data.train = data::make_synthetic_image(1, 8, 8, {240, 4, 1.0, 0.3, 41});
+  data.test = data::make_synthetic_image(1, 8, 8, {80, 4, 1.0, 0.3, 42});
+  fl::FLConfig cfg;
+  util::Rng rng(43);
+  cfg.train = &data.train;
+  cfg.test = &data.test;
+  cfg.partition = data::partition_label_skew(data.train, 6, rng);
+  cfg.model_factory = [] { return make_cnn_mnist(0.2, 8); };
+  cfg.learning_rate = 0.05f;
+  cfg.batch_size = 8;
+  cfg.cluster.seed = 44;
+  cfg.fading.seed = 45;
+  cfg.time_budget = 400.0;
+  cfg.eval_every = 1;
+  cfg.eval_samples = 80;
+  cfg.eval_batch = 20;
+  cfg.max_rounds = 4;
+  cfg.seed = 43;
+  cfg.cooperative_gemm = true;
+
+  std::string reference;
+  for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+    cfg.threads = threads;
+    fl::AirFedGA mech;
+    const fl::Metrics metrics = mech.run(cfg);
+    ASSERT_FALSE(metrics.empty());
+    if (reference.empty()) {
+      reference = metrics.digest();
+    } else {
+      EXPECT_EQ(metrics.digest(), reference) << "@" << threads << " lanes";
+    }
+  }
+  set_gemm_coop_min_flops(saved);
+}
+
+}  // namespace
+}  // namespace airfedga::ml

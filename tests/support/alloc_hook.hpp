@@ -1,0 +1,86 @@
+#pragma once
+
+// Replacement global allocation operators that count every heap allocation
+// in the including binary. Include this header in EXACTLY ONE translation
+// unit of a test or bench executable (never in library code — replacing
+// operator new is a per-binary decision). Used by tests/gemm_test.cpp to
+// enforce the zero-allocation steady-state training contract and by
+// bench/micro_gemm.cpp to report heap traffic per training step.
+//
+// The operators route through malloc/free so they stay compatible with the
+// sanitizer interceptors in the ASan CI leg; the nothrow and aligned
+// overloads are replaced too, so no allocation path bypasses the counter
+// (or mismatches malloc with a sanitizer-tracked default operator new).
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace alloc_hook {
+
+inline std::atomic<std::size_t> count{0};
+inline std::atomic<std::size_t> bytes{0};
+
+struct Stats {
+  std::size_t count;
+  std::size_t bytes;
+};
+
+inline Stats stats() { return {count.load(), bytes.load()}; }
+
+}  // namespace alloc_hook
+
+// The replacement operators pair malloc with free correctly at runtime;
+// the compiler cannot see that every new in the binary routes through this
+// malloc, so its static new/free mismatch heuristic misfires here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  alloc_hook::count.fetch_add(1, std::memory_order_relaxed);
+  alloc_hook::bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ::operator new(size, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  alloc_hook::count.fetch_add(1, std::memory_order_relaxed);
+  alloc_hook::bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (posix_memalign(&p, a < sizeof(void*) ? sizeof(void*) : a, size ? size : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
