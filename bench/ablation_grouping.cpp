@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     fl::Metrics res;
     data::WorkerGroups groups;
     if (v.groups) {
-      fl::AirFedGA::Options opts;
+      fl::MechanismConfig opts;
       opts.groups_override = *v.groups;
       fl::AirFedGA m2(opts);
       res = m2.run(base.cfg);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     exp.cfg.eval_every = 10;
     exp.cfg.eval_samples = 500;
 
-    fl::AirFedGA::Options opts;
+    fl::MechanismConfig opts;
     opts.staleness_damping = a;
     fl::AirFedGA ga(opts);
     const fl::Metrics res = ga.run(exp.cfg);

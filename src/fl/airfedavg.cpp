@@ -1,40 +1,27 @@
-#include <algorithm>
 #include <numeric>
 
 #include "fl/mechanisms.hpp"
 
 namespace airfedga::fl {
 
-Metrics AirFedAvg::run(const FLConfig& cfg) {
-  Driver driver(cfg);
-  Metrics metrics;
-
-  std::vector<float> w = driver.initial_model();
-  std::vector<std::size_t> everyone(driver.num_workers());
+data::WorkerGroups AirFedAvg::make_cohorts(SchedulingLoop& loop) {
+  // Full participation behind one round barrier.
+  std::vector<std::size_t> everyone(loop.driver().num_workers());
   std::iota(everyone.begin(), everyone.end(), std::size_t{0});
+  return {std::move(everyone)};
+}
 
-  const auto local_times = driver.cluster().local_times();
-  const double compute_time = *std::max_element(local_times.begin(), local_times.end());
-  const double upload_time = driver.latency().aircomp_upload_seconds(driver.model_dim());
-  const double round_time = compute_time + upload_time;
+double AirFedAvg::upload_seconds(const SchedulingLoop& loop,
+                                 const std::vector<std::size_t>& /*members*/) const {
+  // One concurrent over-the-air transmission, independent of N.
+  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+}
 
-  double now = 0.0;
-  double energy = 0.0;
-  for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
-    if (now + round_time > cfg.time_budget) break;
-    // Synchronous round on the driver's training lanes (barrier at the
-    // end); the round's virtual barrier time is the cohort's deadline tag.
-    driver.train_workers(everyone, w, now + round_time);
-    now += round_time;
-    // All workers transmit concurrently; power control per Alg. 2.
-    w = driver.aircomp_aggregate(everyone, w, t, energy);
-
-    driver.maybe_record(metrics, t, now, energy, /*staleness=*/0.0, w);
-    if (driver.should_stop(metrics)) break;
-  }
-  metrics.set_final_model(std::move(w));
-  metrics.set_engine_stats(driver.engine_stats());
-  return metrics;
+std::vector<float> AirFedAvg::aggregate(SchedulingLoop& loop,
+                                        const std::vector<std::size_t>& members,
+                                        std::span<const float> w_prev, std::size_t round) {
+  // All workers transmit concurrently; power control per Alg. 2.
+  return loop.driver().aircomp_aggregate(members, w_prev, round, loop.energy_joules());
 }
 
 }  // namespace airfedga::fl

@@ -1,116 +1,57 @@
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "fl/mechanisms.hpp"
-#include "fl/server.hpp"
-#include "sim/event_queue.hpp"
 
 namespace airfedga::fl {
 
-namespace {
-constexpr int kReady = 0;      ///< a worker finished local training (Alg. 1 line 8)
-constexpr int kAggregate = 1;  ///< a complete group finishes its over-the-air upload
-}  // namespace
+data::WorkerGroups AirFedGA::make_cohorts(SchedulingLoop& loop) {
+  Driver& driver = loop.driver();
+  const FLConfig& cfg = loop.config();
 
-Metrics AirFedGA::run(const FLConfig& cfg) {
-  Driver driver(cfg);
-  Metrics metrics;
-
-  const auto local_times = driver.cluster().local_times();
-  core::GroupingConfig gcfg = opts_.grouping;
+  core::GroupingConfig gcfg = cfg_.grouping;
   gcfg.aircomp_upload_seconds = driver.latency().aircomp_upload_seconds(driver.model_dim());
   gcfg.energy_cap = cfg.energy_cap;
   gcfg.convergence.sigma0_sq = cfg.aircomp.sigma0_sq;
-  if (opts_.auto_calibrate_model_bound) {
+  if (cfg_.auto_calibrate_model_bound) {
     // Assumption 4's W^2 for planning: the initial model norm with 2x
     // headroom (norms drift slowly under small-step SGD).
     const double w_sq = ml::squared_norm(driver.initial_model());
     gcfg.convergence.model_bound_sq = std::max(1e-9, 2.0 * w_sq);
   }
 
-  if (opts_.groups_override) {
-    groups_ = *opts_.groups_override;
+  if (cfg_.groups_override) {
+    groups_ = *cfg_.groups_override;
   } else {
-    groups_ = core::airfedga_grouping(driver.stats(), local_times, gcfg).groups;
+    groups_ = core::airfedga_grouping(driver.stats(), loop.local_times(), gcfg).groups;
   }
   data::validate_groups(groups_, driver.num_workers());
+  return groups_;
+}
 
-  std::vector<std::size_t> group_of(driver.num_workers());
-  for (std::size_t j = 0; j < groups_.size(); ++j)
-    for (auto m : groups_[j]) group_of[m] = j;
+double AirFedGA::upload_seconds(const SchedulingLoop& loop,
+                                const std::vector<std::size_t>& /*members*/) const {
+  // One concurrent group transmission, L_u (Eq. 34).
+  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+}
 
-  ParameterServer server(driver.initial_model(), groups_.size());
-  const double upload_time = gcfg.aircomp_upload_seconds;
+std::vector<float> AirFedGA::aggregate(SchedulingLoop& loop,
+                                       const std::vector<std::size_t>& members,
+                                       std::span<const float> w_prev, std::size_t round) {
+  // Over-the-air aggregation of one group (Alg. 1 lines 24-26) with
+  // per-round power control (Alg. 2); `round` is the fading index of the
+  // round this commit will get.
+  return loop.driver().aircomp_aggregate(members, w_prev, round, loop.energy_joules());
+}
 
-  // A group's compute phase lasts until its slowest member reports READY;
-  // starting at virtual time t, its aggregation event lands at
-  // t + group_compute[j] + L_u. That is the deadline tag handed to the lane
-  // scheduler with every training batch.
-  std::vector<double> group_compute(groups_.size(), 0.0);
-  for (std::size_t j = 0; j < groups_.size(); ++j)
-    for (auto m : groups_[j]) group_compute[j] = std::max(group_compute[j], local_times[m]);
-
-  sim::EventQueue queue;
-  // Round 0: every worker holds w_0, trains, and reports READY (Alg. 1
-  // lines 5-8). Training is submitted to the driver's lanes one group at a
-  // time so each batch carries its own aggregation deadline; completion
-  // time is virtual, and the models are collected at the group's
-  // aggregation barrier below.
-  for (std::size_t j = 0; j < groups_.size(); ++j)
-    driver.begin_training(groups_[j], server.global_model(),
-                          /*deadline=*/group_compute[j] + upload_time);
-  for (std::size_t i = 0; i < driver.num_workers(); ++i)
-    queue.schedule(local_times[i], kReady, i);
-
-  double energy = 0.0;
-  while (!queue.empty()) {
-    const auto ev = queue.pop();
-    if (ev.time > cfg.time_budget) break;
-
-    if (ev.kind == kReady) {
-      const std::size_t j = group_of[ev.actor];
-      // Intra-group alignment (Alg. 1 lines 17-23): the EXECUTE message
-      // goes out when the last member reports READY; the concurrent
-      // transmission then occupies the channel for L_u seconds.
-      if (server.ready(j, groups_[j].size())) queue.schedule(ev.time + upload_time, kAggregate, j);
-      continue;
-    }
-
-    // kAggregate: over-the-air aggregation of group j (Alg. 1 lines 24-26).
-    // Fixed-order barrier: collect the group's in-flight training jobs
-    // before reading their local models; other groups keep training.
-    const std::size_t j = ev.actor;
-    driver.finish_training(groups_[j]);
-    const auto tau = static_cast<double>(server.staleness(j));
-    const std::size_t fading_round = server.round() + 1;
-    auto w_new =
-        driver.aircomp_aggregate(groups_[j], server.global_model(), fading_round, energy);
-
-    if (opts_.staleness_damping > 0.0) {
-      // Extension: shrink a stale group's contribution FedAsync-style,
-      // w_t = w_{t-1} + (w_t^{air} - w_{t-1}) / (1 + tau)^a.
-      const double damp = 1.0 / std::pow(1.0 + tau, opts_.staleness_damping);
-      const auto w_prev = server.global_model();
-      for (std::size_t d = 0; d < w_new.size(); ++d)
-        w_new[d] = static_cast<float>(w_prev[d] + damp * (w_new[d] - w_prev[d]));
-    }
-
-    server.complete_round(j, std::move(w_new));
-    driver.maybe_record(metrics, server.round(), ev.time, energy, tau, server.global_model());
-    if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
-
-    // The group receives w_t and starts the next local round (Alg. 1
-    // line 26 followed by lines 6-8), overlapping with every other group's
-    // in-flight training and with later aggregations of other groups. The
-    // batch is tagged with the group's next aggregation deadline.
-    driver.begin_training(groups_[j], server.global_model(),
-                          /*deadline=*/ev.time + group_compute[j] + upload_time);
-    for (auto m : groups_[j]) queue.schedule(ev.time + local_times[m], kReady, m);
-  }
-  metrics.set_final_model(server.model_vector());
-  metrics.set_engine_stats(driver.engine_stats());
-  return metrics;
+void AirFedGA::reweight(const SchedulingLoop& /*loop*/, std::span<const float> w_prev,
+                        std::vector<float>& w_next, double tau) const {
+  if (cfg_.staleness_damping <= 0.0) return;
+  // Extension: shrink a stale group's contribution FedAsync-style,
+  // w_t = w_{t-1} + (w_t^{air} - w_{t-1}) / (1 + tau)^a.
+  const double damp = 1.0 / std::pow(1.0 + tau, cfg_.staleness_damping);
+  for (std::size_t d = 0; d < w_next.size(); ++d)
+    w_next[d] = static_cast<float>(w_prev[d] + damp * (w_next[d] - w_prev[d]));
 }
 
 }  // namespace airfedga::fl

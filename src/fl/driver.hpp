@@ -246,17 +246,4 @@ class Driver {
   std::unique_ptr<util::ThreadPool> pool_;
 };
 
-/// Interface shared by the five mechanisms (Table I of the paper).
-class Mechanism {
- public:
-  virtual ~Mechanism() = default;  ///< virtual: mechanisms are held by base pointer
-
-  /// Display name used in tables, curves, and CSV stems.
-  [[nodiscard]] virtual std::string name() const = 0;
-
-  /// Executes one full federated training run under `cfg` and returns its
-  /// recorded metric series (with engine stats attached).
-  virtual Metrics run(const FLConfig& cfg) = 0;
-};
-
 }  // namespace airfedga::fl

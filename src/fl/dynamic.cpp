@@ -1,4 +1,4 @@
-#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "fl/mechanisms.hpp"
@@ -6,48 +6,41 @@
 
 namespace airfedga::fl {
 
-Metrics DynamicAirComp::run(const FLConfig& cfg) {
+void DynamicAirComp::check(const FLConfig&) const {
   if (selection_quantile_ < 0.0 || selection_quantile_ >= 1.0)
     throw std::invalid_argument("DynamicAirComp: selection quantile must be in [0,1)");
-  Driver driver(cfg);
-  Metrics metrics;
+}
 
-  std::vector<float> w = driver.initial_model();
-  const auto local_times = driver.cluster().local_times();
-  const double upload_time = driver.latency().aircomp_upload_seconds(driver.model_dim());
+data::WorkerGroups DynamicAirComp::make_cohorts(SchedulingLoop& loop) {
+  std::vector<std::size_t> everyone(loop.driver().num_workers());
+  std::iota(everyone.begin(), everyone.end(), std::size_t{0});
+  return {std::move(everyone)};
+}
 
-  double now = 0.0;
-  double energy = 0.0;
-  for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
-    // Channel-aware scheduling: admit workers whose gain this round clears
-    // the configured quantile. Strong channels need the least transmit
-    // power for the common sigma_t (Eq. 6), so this is the energy-friendly
-    // subset; it is re-drawn every round with the fading, which is what
-    // makes the participating data distribution wander under label skew.
-    const auto gains = driver.fading().gains(t);
-    const double cutoff = util::quantile(gains, selection_quantile_);
-    std::vector<std::size_t> selected;
-    for (std::size_t i = 0; i < gains.size(); ++i)
-      if (gains[i] >= cutoff) selected.push_back(i);
-    if (selected.empty()) continue;  // cannot happen with quantile < 1; defensive
+std::vector<std::size_t> DynamicAirComp::select(SchedulingLoop& loop, std::size_t /*cohort*/,
+                                                std::size_t round) {
+  // Channel-aware scheduling: admit workers whose gain this round clears
+  // the configured quantile. Strong channels need the least transmit
+  // power for the common sigma_t (Eq. 6), so this is the energy-friendly
+  // subset; it is re-drawn every round with the fading, which is what
+  // makes the participating data distribution wander under label skew.
+  const auto gains = loop.driver().fading().gains(round);
+  const double cutoff = util::quantile(gains, selection_quantile_);
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < gains.size(); ++i)
+    if (gains[i] >= cutoff) selected.push_back(i);
+  return selected;  // empty cannot happen with quantile < 1; the loop skips it
+}
 
-    double compute_time = 0.0;
-    for (auto i : selected) compute_time = std::max(compute_time, local_times[i]);
-    const double round_time = compute_time + upload_time;
-    if (now + round_time > cfg.time_budget) break;
+double DynamicAirComp::upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& /*members*/) const {
+  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+}
 
-    // Admitted subset trains concurrently on the driver's lanes (barrier);
-    // the round's virtual barrier time is the subset's deadline tag.
-    driver.train_workers(selected, w, now + round_time);
-    now += round_time;
-    w = driver.aircomp_aggregate(selected, w, t, energy);
-
-    driver.maybe_record(metrics, t, now, energy, /*staleness=*/0.0, w);
-    if (driver.should_stop(metrics)) break;
-  }
-  metrics.set_final_model(std::move(w));
-  metrics.set_engine_stats(driver.engine_stats());
-  return metrics;
+std::vector<float> DynamicAirComp::aggregate(SchedulingLoop& loop,
+                                             const std::vector<std::size_t>& members,
+                                             std::span<const float> w_prev, std::size_t round) {
+  return loop.driver().aircomp_aggregate(members, w_prev, round, loop.energy_joules());
 }
 
 }  // namespace airfedga::fl

@@ -2,63 +2,48 @@
 #include <stdexcept>
 
 #include "fl/mechanisms.hpp"
-#include "fl/server.hpp"
-#include "sim/event_queue.hpp"
 
 namespace airfedga::fl {
 
-Metrics FedAsync::run(const FLConfig& cfg) {
+void FedAsync::check(const FLConfig&) const {
   if (mixing_ <= 0.0 || mixing_ > 1.0)
     throw std::invalid_argument("FedAsync: mixing must be in (0, 1]");
   if (damping_ < 0.0) throw std::invalid_argument("FedAsync: damping must be >= 0");
+}
 
-  Driver driver(cfg);
-  Metrics metrics;
-
-  const auto local_times = driver.cluster().local_times();
+data::WorkerGroups FedAsync::make_cohorts(SchedulingLoop& loop) {
   // Every worker is its own "group": the ParameterServer's per-group
-  // staleness bookkeeping applies verbatim with singleton groups.
-  ParameterServer server(driver.initial_model(), driver.num_workers());
-  const double upload_time = driver.latency().oma_upload_seconds(driver.model_dim(), 1);
+  // staleness bookkeeping applies verbatim with singleton cohorts.
+  data::WorkerGroups singletons(loop.driver().num_workers());
+  for (std::size_t i = 0; i < singletons.size(); ++i) singletons[i] = {i};
+  return singletons;
+}
 
-  // Fully asynchronous: every worker's local training is an independent
-  // in-flight job on the driver's lanes, collected when its (virtual-time)
-  // upload event is processed.
-  sim::EventQueue queue;
-  for (std::size_t i = 0; i < driver.num_workers(); ++i) {
-    // Each worker's upload-complete event is its deadline tag: fast
-    // workers' jobs get lanes first, matching virtual-time urgency.
-    driver.begin_training({i}, server.global_model(),
-                          /*deadline=*/local_times[i] + upload_time);
-    queue.schedule(local_times[i] + upload_time, /*kind=*/0, i);
-  }
+double FedAsync::upload_seconds(const SchedulingLoop& loop,
+                                const std::vector<std::size_t>& members) const {
+  return loop.driver().latency().oma_upload_seconds(loop.driver().model_dim(), members.size());
+}
 
-  while (!queue.empty()) {
-    const auto ev = queue.pop();
-    if (ev.time > cfg.time_budget) break;
-    const std::size_t i = ev.actor;
+double FedAsync::aggregate_time(const SchedulingLoop& loop, std::size_t /*cohort*/,
+                                const std::vector<std::size_t>& members, double start) const {
+  // Left-to-right association (start + l_i) + upload, matching the
+  // original event arithmetic bit for bit.
+  return start + loop.local_times()[members.front()] + upload_seconds(loop, members);
+}
 
-    driver.finish_training({i});
-    const auto tau = static_cast<double>(server.staleness(i));
-    const double alpha = mixing_ / std::pow(1.0 + tau, damping_);
-    const auto w_prev = server.global_model();
-    const auto wi = driver.worker(i).local_model();
-    std::vector<float> w_next(w_prev.size());
-    for (std::size_t d = 0; d < w_next.size(); ++d)
-      w_next[d] = static_cast<float>((1.0 - alpha) * w_prev[d] + alpha * wi[d]);
+std::vector<float> FedAsync::aggregate(SchedulingLoop& loop,
+                                       const std::vector<std::size_t>& members,
+                                       std::span<const float> /*w_prev*/, std::size_t /*round*/) {
+  // The candidate update is the worker's own model; reweight() blends it.
+  const auto wi = loop.driver().worker(members.front()).local_model();
+  return std::vector<float>(wi.begin(), wi.end());
+}
 
-    server.complete_round(i, std::move(w_next));
-    driver.maybe_record(metrics, server.round(), ev.time, /*energy=*/0.0, tau,
-                        server.global_model());
-    if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
-
-    driver.begin_training({i}, server.global_model(),
-                          /*deadline=*/ev.time + local_times[i] + upload_time);
-    queue.schedule(ev.time + local_times[i] + upload_time, /*kind=*/0, i);
-  }
-  metrics.set_final_model(server.model_vector());
-  metrics.set_engine_stats(driver.engine_stats());
-  return metrics;
+void FedAsync::reweight(const SchedulingLoop& /*loop*/, std::span<const float> w_prev,
+                        std::vector<float>& w_next, double tau) const {
+  const double alpha = mixing_ / std::pow(1.0 + tau, damping_);
+  for (std::size_t d = 0; d < w_next.size(); ++d)
+    w_next[d] = static_cast<float>((1.0 - alpha) * w_prev[d] + alpha * w_next[d]);
 }
 
 }  // namespace airfedga::fl

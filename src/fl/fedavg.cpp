@@ -1,41 +1,26 @@
-#include <algorithm>
 #include <numeric>
 
 #include "fl/mechanisms.hpp"
 
 namespace airfedga::fl {
 
-Metrics FedAvg::run(const FLConfig& cfg) {
-  Driver driver(cfg);
-  Metrics metrics;
-
-  std::vector<float> w = driver.initial_model();
-  std::vector<std::size_t> everyone(driver.num_workers());
+data::WorkerGroups FedAvg::make_cohorts(SchedulingLoop& loop) {
+  // Full participation behind one round barrier.
+  std::vector<std::size_t> everyone(loop.driver().num_workers());
   std::iota(everyone.begin(), everyone.end(), std::size_t{0});
+  return {std::move(everyone)};
+}
 
-  const auto local_times = driver.cluster().local_times();
-  const double compute_time = *std::max_element(local_times.begin(), local_times.end());
-  const double upload_time =
-      driver.latency().oma_upload_seconds(driver.model_dim(), driver.num_workers());
-  const double round_time = compute_time + upload_time;
+double FedAvg::upload_seconds(const SchedulingLoop& loop,
+                              const std::vector<std::size_t>& members) const {
+  // N serialized OMA uploads — the linear-in-N term of Fig. 10.
+  return loop.driver().latency().oma_upload_seconds(loop.driver().model_dim(), members.size());
+}
 
-  double now = 0.0;
-  for (std::size_t t = 1; t <= cfg.max_rounds; ++t) {
-    if (now + round_time > cfg.time_budget) break;
-    // Synchronous round: every worker trains from w_{t-1} (Eq. 4), spread
-    // across the driver's training lanes up to the round barrier. The
-    // round's (virtual) barrier time is the whole cohort's deadline tag.
-    driver.train_workers(everyone, w, now + round_time);
-    now += round_time;
-    // ... and the PS forms the exact weighted average (OMA is reliable).
-    w = driver.oma_aggregate(everyone, w);
-
-    driver.maybe_record(metrics, t, now, /*energy=*/0.0, /*staleness=*/0.0, w);
-    if (driver.should_stop(metrics)) break;
-  }
-  metrics.set_final_model(std::move(w));
-  metrics.set_engine_stats(driver.engine_stats());
-  return metrics;
+std::vector<float> FedAvg::aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                                     std::span<const float> w_prev, std::size_t /*round*/) {
+  // The PS forms the exact weighted average (OMA is reliable).
+  return loop.driver().oma_aggregate(members, w_prev);
 }
 
 }  // namespace airfedga::fl

@@ -1,0 +1,226 @@
+#include "fl/loop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace airfedga::fl {
+
+// ---------------------------------------------------------------- policy
+
+Metrics Mechanism::run(const FLConfig& cfg) {
+  check(cfg);  // knob validation precedes any run-state construction
+  Driver driver(cfg);
+  SchedulingLoop loop(driver, *this);
+  return loop.run();
+}
+
+void Mechanism::check(const FLConfig&) const {}
+
+std::vector<std::size_t> Mechanism::select(SchedulingLoop& loop, std::size_t cohort,
+                                           std::size_t /*round*/) {
+  return loop.cohorts().at(cohort);
+}
+
+double Mechanism::aggregate_time(const SchedulingLoop& loop, std::size_t /*cohort*/,
+                                 const std::vector<std::size_t>& members, double start) const {
+  double compute = 0.0;
+  for (auto m : members) compute = std::max(compute, loop.local_times()[m]);
+  return start + (compute + upload_seconds(loop, members));
+}
+
+bool Mechanism::should_flush(SchedulingLoop&, const std::vector<std::size_t>&) { return true; }
+
+void Mechanism::reweight(const SchedulingLoop&, std::span<const float>, std::vector<float>&,
+                         double) const {}
+
+// ------------------------------------------------------------------ loop
+
+SchedulingLoop::SchedulingLoop(Driver& driver, Mechanism& policy)
+    : driver_(driver), policy_(policy), trigger_(policy.trigger()) {
+  local_times_ = driver_.cluster().local_times();
+  cohorts_ = policy_.make_cohorts(*this);
+  if (cohorts_.empty()) throw std::logic_error(policy_.name() + ": make_cohorts returned none");
+  if (trigger_ == TriggerKind::kRoundBarrier && cohorts_.size() != 1)
+    throw std::logic_error(policy_.name() + ": a round barrier needs exactly one cohort");
+  cohort_of_.assign(driver_.num_workers(), 0);
+  for (std::size_t j = 0; j < cohorts_.size(); ++j)
+    for (auto m : cohorts_[j]) cohort_of_[m] = j;
+  server_.emplace(driver_.initial_model(), cohorts_.size());
+  active_.resize(cohorts_.size());
+}
+
+void SchedulingLoop::seed_queue() {
+  switch (trigger_) {
+    case TriggerKind::kRoundBarrier:
+      start_sync_cycle();
+      break;
+    case TriggerKind::kCohortTimer:
+      for (std::size_t j = 0; j < cohorts_.size(); ++j) start_timer_cycle(j, 0.0);
+      break;
+    case TriggerKind::kGroupReady:
+      // Round 0 submits training one cohort at a time (each batch carries
+      // its own aggregation deadline) but schedules the READY events in
+      // global worker order — the seed schedule of Alg. 1 lines 5-8.
+      for (std::size_t j = 0; j < cohorts_.size(); ++j) {
+        active_[j] = cohorts_[j];
+        driver_.begin_training(cohorts_[j], server_->global_model(),
+                               policy_.aggregate_time(*this, j, cohorts_[j], 0.0));
+      }
+      for (std::size_t i = 0; i < driver_.num_workers(); ++i)
+        queue_.schedule(local_times_[i], kEvReady, i);
+      break;
+    case TriggerKind::kReadyBuffer: {
+      std::vector<std::size_t> everyone;
+      for (const auto& cohort : cohorts_)
+        everyone.insert(everyone.end(), cohort.begin(), cohort.end());
+      start_buffer_cycle(everyone, 0.0);
+      break;
+    }
+  }
+}
+
+Metrics SchedulingLoop::run() {
+  const FLConfig& cfg = driver_.config();
+  seed_queue();
+  while (!queue_.empty()) {
+    // Budget stop via lookahead: the event past the budget is never
+    // popped, so the virtual clock stops where every mechanism's original
+    // loop stopped.
+    if (queue_.peek_time() > cfg.time_budget) break;
+    const auto ev = queue_.pop();
+    if (ev.kind == kEvReady) {
+      on_ready(ev);
+    } else if (!on_aggregate(ev)) {
+      break;
+    }
+  }
+  metrics_.set_final_model(server_->model_vector());
+  metrics_.set_engine_stats(driver_.engine_stats());
+  return std::move(metrics_);
+}
+
+void SchedulingLoop::start_sync_cycle() {
+  const FLConfig& cfg = driver_.config();
+  while (cycle_ < cfg.max_rounds) {
+    ++cycle_;
+    auto members = policy_.select(*this, 0, cycle_);
+    if (members.empty()) continue;  // selection skip: next round, no time passes
+    const double t_agg = policy_.aggregate_time(*this, 0, members, queue_.now());
+    if (t_agg > cfg.time_budget) return;  // round would overrun: end of run
+    active_[0] = std::move(members);
+    driver_.begin_training(active_[0], server_->global_model(), t_agg);
+    queue_.schedule(t_agg, kEvAggregate, 0);
+    return;
+  }
+}
+
+void SchedulingLoop::start_timer_cycle(std::size_t cohort, double start) {
+  auto members = policy_.select(*this, cohort, server_->round() + 1);
+  if (members.empty()) return;  // cohort retires: no further events for it
+  const double t_agg = policy_.aggregate_time(*this, cohort, members, start);
+  active_[cohort] = std::move(members);
+  driver_.begin_training(active_[cohort], server_->global_model(), t_agg);
+  queue_.schedule(t_agg, kEvAggregate, cohort);
+}
+
+void SchedulingLoop::start_ready_cycle(std::size_t cohort, double start) {
+  active_[cohort] = cohorts_[cohort];
+  driver_.begin_training(cohorts_[cohort], server_->global_model(),
+                         policy_.aggregate_time(*this, cohort, cohorts_[cohort], start));
+  for (auto m : cohorts_[cohort]) queue_.schedule(start + local_times_[m], kEvReady, m);
+}
+
+void SchedulingLoop::start_buffer_cycle(const std::vector<std::size_t>& members, double start) {
+  for (auto m : members) {
+    const std::vector<std::size_t> solo{m};
+    const double t_ready = start + local_times_[m];
+    // The flush time is unknowable here (it depends on the rest of the
+    // buffer), so the deadline tag is the earliest it could be: the
+    // worker's own READY plus one upload.
+    driver_.begin_training(solo, server_->global_model(),
+                           t_ready + policy_.upload_seconds(*this, solo));
+    queue_.schedule(t_ready, kEvReady, m);
+  }
+}
+
+void SchedulingLoop::on_ready(const sim::Event& ev) {
+  if (trigger_ == TriggerKind::kGroupReady) {
+    const std::size_t j = cohort_of_[ev.actor];
+    // Intra-group alignment: EXECUTE goes out when the last member
+    // reports READY; the concurrent transmission then takes one upload.
+    if (server_->ready(j, cohorts_[j].size()))
+      queue_.schedule(ev.time + policy_.upload_seconds(*this, cohorts_[j]), kEvAggregate, j);
+    return;
+  }
+  // kReadyBuffer: queue the upload and let the policy decide whether the
+  // buffer ships as one aggregation now.
+  buffer_.push_back(ev.actor);
+  if (policy_.should_flush(*this, buffer_)) {
+    const double t_agg = ev.time + policy_.upload_seconds(*this, buffer_);
+    flights_.push_back(std::move(buffer_));
+    buffer_.clear();
+    queue_.schedule(t_agg, kEvAggregate, flights_.size() - 1);
+  }
+}
+
+bool SchedulingLoop::on_aggregate(const sim::Event& ev) {
+  const FLConfig& cfg = driver_.config();
+  const bool buffered = trigger_ == TriggerKind::kReadyBuffer;
+  const std::vector<std::size_t> members =
+      buffered ? std::move(flights_[ev.actor]) : std::move(active_[ev.actor]);
+
+  // Fixed-order barrier: collect the members' in-flight jobs before
+  // reading their local models; every other cohort keeps training.
+  driver_.finish_training(members);
+
+  double tau = 0.0;
+  if (buffered) {
+    std::size_t worst = 0;
+    for (auto m : members) worst = std::max(worst, server_->staleness(cohort_of_[m]));
+    tau = static_cast<double>(worst);
+  } else if (trigger_ != TriggerKind::kRoundBarrier) {
+    tau = static_cast<double>(server_->staleness(ev.actor));
+  }
+
+  // Synchronous mechanisms index fading and records by the round-barrier
+  // counter (selection skips advance it without an aggregation);
+  // asynchronous ones by the round this commit will get.
+  const std::size_t round =
+      trigger_ == TriggerKind::kRoundBarrier ? cycle_ : server_->round() + 1;
+
+  auto w_next = policy_.aggregate(*this, members, server_->global_model(), round);
+  policy_.reweight(*this, server_->global_model(), w_next, tau);
+
+  if (buffered) {
+    std::vector<std::size_t> groups;
+    groups.reserve(members.size());
+    for (auto m : members) groups.push_back(cohort_of_[m]);
+    server_->complete_round(groups, std::move(w_next));
+  } else {
+    server_->complete_round(ev.actor, std::move(w_next));
+  }
+
+  driver_.maybe_record(metrics_, round, ev.time, energy_, tau, server_->global_model());
+  if (server_->round() >= cfg.max_rounds || driver_.should_stop(metrics_)) return false;
+
+  // The cohort(s) just received w_t; their next local cycle starts now and
+  // overlaps with everyone else's in-flight training.
+  switch (trigger_) {
+    case TriggerKind::kRoundBarrier:
+      start_sync_cycle();
+      break;
+    case TriggerKind::kCohortTimer:
+      start_timer_cycle(ev.actor, ev.time);
+      break;
+    case TriggerKind::kGroupReady:
+      start_ready_cycle(ev.actor, ev.time);
+      break;
+    case TriggerKind::kReadyBuffer:
+      start_buffer_cycle(members, ev.time);
+      break;
+  }
+  return true;
+}
+
+}  // namespace airfedga::fl

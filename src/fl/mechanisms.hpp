@@ -1,27 +1,80 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "core/grouping.hpp"
-#include "fl/driver.hpp"
+#include "fl/loop.hpp"
 
 namespace airfedga::fl {
+
+/// Uniform knob set for every mechanism. One struct (instead of
+/// per-mechanism constructor signatures) keeps mechanism construction
+/// table-driven: the scenario registry fills the fields it knows and every
+/// mechanism reads only the knobs it owns. Defaults reproduce the paper's
+/// §VI-A settings.
+struct MechanismConfig {
+  // Dynamic [31]
+  /// Per-round channel-gain cutoff: workers whose gain clears this
+  /// quantile participate in the round.
+  double selection_quantile = 0.5;
+
+  // TiFL [26]
+  std::size_t tiers = 5;  ///< response-time tiers (clamped to the worker count)
+
+  // FedAsync [21] and Semi-Async (Kou et al.) staleness weighting
+  double mixing = 0.6;   ///< base mixing weight alpha
+  double damping = 0.5;  ///< staleness exponent/rate of the damping schedule
+
+  // Semi-Async aggregation trigger
+  std::size_t aggregate_count = 4;   ///< flush the buffer at K uploads
+  std::size_t staleness_bound = 4;   ///< ... or once a buffered upload is this stale
+  /// Damping schedule sigma(tau): "poly" = mixing / (1 + tau)^damping,
+  /// "exp" = mixing * exp(-damping * tau).
+  std::string damping_schedule = "poly";
+
+  // Air-FedGA (Alg. 1)
+  core::GroupingConfig grouping;  ///< Alg. 3 grouping parameters
+  /// Bypass Alg. 3 with a fixed grouping (ablations, Fig. 8 sweeps).
+  std::optional<data::WorkerGroups> groups_override;
+  /// Extension (off by default): damp a group's update by
+  /// 1/(1+tau)^staleness_damping, FedAsync-style.
+  double staleness_damping = 0.0;
+  /// Calibrate the planning bound W^2 (Assumption 4) from the actual
+  /// initial model norm instead of the generic default, so the grouping
+  /// objective's aggregation-error term matches the deployed model.
+  bool auto_calibrate_model_bound = true;
+};
 
 /// FedAvg [11]: synchronous, full participation, OMA uplink. Round time is
 /// max_i l_i plus N serialized uploads — the baseline whose round duration
 /// grows linearly with N (Fig. 10).
 class FedAvg : public Mechanism {
  public:
+  explicit FedAvg(const MechanismConfig& = {}) {}
   [[nodiscard]] std::string name() const override { return "FedAvg"; }
-  Metrics run(const FLConfig& cfg) override;
+
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kRoundBarrier; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
 };
 
 /// Air-FedAvg [18]: synchronous, full participation, AirComp uplink with
 /// optimal power control (Alg. 2 applied to the full worker set).
 class AirFedAvg : public Mechanism {
  public:
+  explicit AirFedAvg(const MechanismConfig& = {}) {}
   [[nodiscard]] std::string name() const override { return "Air-FedAvg"; }
-  Metrics run(const FLConfig& cfg) override;
+
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kRoundBarrier; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
 };
 
 /// Dynamic [31]: synchronous AirComp with per-round subset scheduling.
@@ -32,12 +85,19 @@ class AirFedAvg : public Mechanism {
 /// jitter under label skew (§VI-B1).
 class DynamicAirComp : public Mechanism {
  public:
-  /// `selection_quantile` is the per-round gain cutoff: workers whose
-  /// channel gain clears it participate in the round.
-  explicit DynamicAirComp(double selection_quantile = 0.5)
-      : selection_quantile_(selection_quantile) {}
+  explicit DynamicAirComp(const MechanismConfig& mc = {})
+      : selection_quantile_(mc.selection_quantile) {}
   [[nodiscard]] std::string name() const override { return "Dynamic"; }
-  Metrics run(const FLConfig& cfg) override;
+
+  void check(const FLConfig& cfg) const override;
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  std::vector<std::size_t> select(SchedulingLoop& loop, std::size_t cohort,
+                                  std::size_t round) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kRoundBarrier; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
 
  private:
   double selection_quantile_;
@@ -48,10 +108,15 @@ class DynamicAirComp : public Mechanism {
 /// within a tier are serialized OMA transfers.
 class TiFL : public Mechanism {
  public:
-  /// `num_tiers` response-time tiers (clamped to the worker count).
-  explicit TiFL(std::size_t num_tiers = 5) : num_tiers_(num_tiers) {}
+  explicit TiFL(const MechanismConfig& mc = {}) : num_tiers_(mc.tiers) {}
   [[nodiscard]] std::string name() const override { return "TiFL"; }
-  Metrics run(const FLConfig& cfg) override;
+
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kCohortTimer; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
 
   /// Tiers chosen by the last `run` call.
   [[nodiscard]] const data::WorkerGroups& tiers() const { return tiers_; }
@@ -70,12 +135,21 @@ class TiFL : public Mechanism {
 /// per upload) and maximal staleness exposure.
 class FedAsync : public Mechanism {
  public:
-  /// `mixing` is the base mixing weight alpha, `damping` the staleness
-  /// exponent of alpha_tau = mixing / (1 + tau)^damping.
-  explicit FedAsync(double mixing = 0.6, double damping = 0.5)
-      : mixing_(mixing), damping_(damping) {}
+  explicit FedAsync(const MechanismConfig& mc = {}) : mixing_(mc.mixing), damping_(mc.damping) {}
   [[nodiscard]] std::string name() const override { return "FedAsync"; }
-  Metrics run(const FLConfig& cfg) override;
+
+  void check(const FLConfig& cfg) const override;
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kCohortTimer; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  [[nodiscard]] double aggregate_time(const SchedulingLoop& loop, std::size_t cohort,
+                                      const std::vector<std::size_t>& members,
+                                      double start) const override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
+  void reweight(const SchedulingLoop& loop, std::span<const float> w_prev,
+                std::vector<float>& w_next, double tau) const override;
 
  private:
   double mixing_;
@@ -88,33 +162,63 @@ class FedAsync : public Mechanism {
 /// with staleness tracked by the parameter server.
 class AirFedGA : public Mechanism {
  public:
-  /// Tuning knobs of a run; defaults reproduce the paper's Alg. 1.
-  struct Options {
-    core::GroupingConfig grouping;  ///< Alg. 3 grouping parameters
-    /// Bypass Alg. 3 with a fixed grouping (ablations, Fig. 8 sweeps).
-    std::optional<data::WorkerGroups> groups_override;
-    /// Extension (off by default): damp a group's update by
-    /// 1/(1+tau)^staleness_damping, FedAsync-style.
-    double staleness_damping = 0.0;
-    /// Calibrate the planning bound W^2 (Assumption 4) from the actual
-    /// initial model norm instead of the generic default, so the grouping
-    /// objective's aggregation-error term matches the deployed model.
-    bool auto_calibrate_model_bound = true;
-  };
-
-  AirFedGA() = default;  ///< paper defaults (Alg. 1 with Alg. 3 grouping)
-  /// Runs with explicit options (ablations, Fig. 8 sweeps).
-  explicit AirFedGA(Options opts) : opts_(std::move(opts)) {}
-
+  explicit AirFedGA(const MechanismConfig& mc = {}) : cfg_(mc) {}
   [[nodiscard]] std::string name() const override { return "Air-FedGA"; }
-  Metrics run(const FLConfig& cfg) override;
+
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kGroupReady; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
+  void reweight(const SchedulingLoop& loop, std::span<const float> w_prev,
+                std::vector<float>& w_next, double tau) const override;
 
   /// Grouping used by the last `run` call (Fig. 7 inspects this).
   [[nodiscard]] const data::WorkerGroups& groups() const { return groups_; }
 
  private:
-  Options opts_;
+  MechanismConfig cfg_;
   data::WorkerGroups groups_;
+};
+
+/// Semi-Async (Kou et al., PAPERS.md): staleness-bounded semi-asynchronous
+/// AirComp FL. Finished workers report READY into a server-side buffer;
+/// the buffer ships as one over-the-air aggregation once it holds
+/// `aggregate_count` uploads or once any buffered upload reaches the
+/// staleness bound (bounded waiting), and the committed update is damped
+/// by the staleness schedule sigma(tau):
+///   w_t = w_{t-1} + sigma(tau) (w_air - w_{t-1}).
+/// Entirely policy hooks on the unified loop — no bespoke event handling.
+class SemiAsync : public Mechanism {
+ public:
+  explicit SemiAsync(const MechanismConfig& mc = {})
+      : mixing_(mc.mixing),
+        damping_(mc.damping),
+        aggregate_count_(mc.aggregate_count),
+        staleness_bound_(mc.staleness_bound),
+        exponential_(mc.damping_schedule == "exp"),
+        schedule_(mc.damping_schedule) {}
+  [[nodiscard]] std::string name() const override { return "Semi-Async"; }
+
+  void check(const FLConfig& cfg) const override;
+  data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
+  [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kReadyBuffer; }
+  [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
+                                      const std::vector<std::size_t>& members) const override;
+  bool should_flush(SchedulingLoop& loop, const std::vector<std::size_t>& buffered) override;
+  std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                               std::span<const float> w_prev, std::size_t round) override;
+  void reweight(const SchedulingLoop& loop, std::span<const float> w_prev,
+                std::vector<float>& w_next, double tau) const override;
+
+ private:
+  double mixing_;
+  double damping_;
+  std::size_t aggregate_count_;
+  std::size_t staleness_bound_;
+  bool exponential_;
+  std::string schedule_;
 };
 
 }  // namespace airfedga::fl

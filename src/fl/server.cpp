@@ -36,4 +36,20 @@ void ParameterServer::complete_round(std::size_t group, std::vector<float> new_m
   base_[group] = round_;
 }
 
+void ParameterServer::complete_round(const std::vector<std::size_t>& groups,
+                                     std::vector<float> new_model) {
+  if (groups.empty())
+    throw std::invalid_argument("ParameterServer::complete_round: no groups in commit");
+  for (auto g : groups)
+    if (g >= ready_.size()) throw std::out_of_range("ParameterServer::complete_round: bad group");
+  if (new_model.size() != model_.size())
+    throw std::invalid_argument("ParameterServer::complete_round: model size changed");
+  model_ = std::move(new_model);
+  ++round_;
+  for (auto g : groups) {
+    ready_[g] = 0;
+    base_[g] = round_;
+  }
+}
+
 }  // namespace airfedga::fl

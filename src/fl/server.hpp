@@ -39,6 +39,12 @@ class ParameterServer {
   /// that `group` now holds version t (Alg. 1 lines 21-26).
   void complete_round(std::size_t group, std::vector<float> new_model);
 
+  /// Buffered commit (semi-async mechanisms): one aggregation folds the
+  /// uploads of several groups into a single global round t. Every listed
+  /// group's READY counter resets and its base version becomes t; the
+  /// round counter still advances by exactly one.
+  void complete_round(const std::vector<std::size_t>& groups, std::vector<float> new_model);
+
  private:
   std::vector<float> model_;
   std::vector<std::size_t> ready_;

@@ -1,66 +1,28 @@
 #include <algorithm>
 
 #include "fl/mechanisms.hpp"
-#include "fl/server.hpp"
-#include "sim/event_queue.hpp"
 
 namespace airfedga::fl {
 
-Metrics TiFL::run(const FLConfig& cfg) {
-  Driver driver(cfg);
-  Metrics metrics;
+data::WorkerGroups TiFL::make_cohorts(SchedulingLoop& loop) {
+  // Tiers are built from response times only (no data-distribution
+  // awareness); each tier runs its own aggregation timer.
+  const std::size_t tiers =
+      std::max<std::size_t>(1, std::min(num_tiers_, loop.driver().num_workers()));
+  tiers_ = core::tifl_grouping(loop.local_times(), tiers);
+  return tiers_;
+}
 
-  const auto local_times = driver.cluster().local_times();
-  const std::size_t tiers = std::max<std::size_t>(1, std::min(num_tiers_, driver.num_workers()));
-  tiers_ = core::tifl_grouping(local_times, tiers);
+double TiFL::upload_seconds(const SchedulingLoop& loop,
+                            const std::vector<std::size_t>& members) const {
+  // The tier's serialized OMA uploads (Eq. 34 with the OMA upload term
+  // instead of L_u).
+  return loop.driver().latency().oma_upload_seconds(loop.driver().model_dim(), members.size());
+}
 
-  ParameterServer server(driver.initial_model(), tiers_.size());
-
-  // Tier round duration: slowest member plus the tier's serialized OMA
-  // uploads (Eq. 34 with the OMA upload term instead of L_u).
-  std::vector<double> tier_time(tiers_.size());
-  for (std::size_t j = 0; j < tiers_.size(); ++j) {
-    double compute = 0.0;
-    for (auto m : tiers_[j]) compute = std::max(compute, local_times[m]);
-    tier_time[j] =
-        compute + driver.latency().oma_upload_seconds(driver.model_dim(), tiers_[j].size());
-  }
-
-  // Tiers are mutually asynchronous, so each tier's local training runs as
-  // in-flight jobs on the driver's lanes; the barrier is per tier, at the
-  // moment its (virtual-time) upload event is processed.
-  sim::EventQueue queue;
-  for (std::size_t j = 0; j < tiers_.size(); ++j) {
-    // Every tier starts from w_0; its aggregation event time is the
-    // deadline tag, so fast tiers' workers get lanes first.
-    driver.begin_training(tiers_[j], server.global_model(), /*deadline=*/tier_time[j]);
-    queue.schedule(tier_time[j], /*kind=*/0, j);
-  }
-
-  while (!queue.empty()) {
-    const auto ev = queue.pop();
-    if (ev.time > cfg.time_budget) break;
-    const std::size_t j = ev.actor;
-
-    driver.finish_training(tiers_[j]);
-    const auto tau = static_cast<double>(server.staleness(j));
-    auto w_new = driver.oma_aggregate(tiers_[j], server.global_model());
-    server.complete_round(j, std::move(w_new));
-
-    driver.maybe_record(metrics, server.round(), ev.time, /*energy=*/0.0, tau,
-                        server.global_model());
-    if (server.round() >= cfg.max_rounds || driver.should_stop(metrics)) break;
-
-    // Tier received w_t; its next local round starts immediately and
-    // overlaps with the other tiers' in-flight training. Its upcoming
-    // aggregation event is the batch's deadline tag.
-    driver.begin_training(tiers_[j], server.global_model(),
-                          /*deadline=*/ev.time + tier_time[j]);
-    queue.schedule(ev.time + tier_time[j], /*kind=*/0, j);
-  }
-  metrics.set_final_model(server.model_vector());
-  metrics.set_engine_stats(driver.engine_stats());
-  return metrics;
+std::vector<float> TiFL::aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
+                                   std::span<const float> w_prev, std::size_t /*round*/) {
+  return loop.driver().oma_aggregate(members, w_prev);
 }
 
 }  // namespace airfedga::fl

@@ -329,12 +329,19 @@ void write_results(const std::string& out_dir, const std::vector<ScenarioResult>
 
   for (const auto& scenario : results) {
     for (const auto& run : scenario.runs) {
-      std::string stem = sanitize(scenario.spec.name) + "_" + sanitize(run.mechanism) + "_t" +
-                         std::to_string(scenario.spec.threads);
-      const std::size_t uses = ++stem_uses[stem];
-      if (uses > 1) {
-        stem.push_back('_');
-        stem.append(std::to_string(uses));
+      const std::string base = sanitize(scenario.spec.name) + "_" + sanitize(run.mechanism) +
+                               "_t" + std::to_string(scenario.spec.threads);
+      std::size_t uses = ++stem_uses[base];
+      std::string stem = uses > 1 ? base + "_" + std::to_string(uses) : base;
+      if (opts.append) {
+        // Cross-invocation collisions: an earlier --append session may
+        // already own this stem (the counter above only sees this call).
+        // Keep bumping the deterministic suffix past the files on disk so
+        // appended runs never clobber an existing points series.
+        while (fs::exists(fs::path(out_dir) / "points" / (stem + ".csv"))) {
+          uses = ++stem_uses[base];
+          stem = base + "_" + std::to_string(uses);
+        }
       }
       // Recorded relative to out_dir, so result directories are relocatable
       // and the JSONL is byte-identical wherever --out points.

@@ -21,8 +21,43 @@ const std::vector<std::string> kDatasetKinds = {"mnist_like", "mnist_image_like"
 const std::vector<std::string> kModelKinds = {"mlp", "mlp1", "softmax", "cnn_mnist",
                                               "cnn_cifar", "vgg_style"};
 const std::vector<std::string> kPartitionKinds = {"label_skew", "iid", "dirichlet"};
-const std::vector<std::string> kMechanismKinds = {"fedavg", "airfedavg", "dynamic",
-                                                  "tifl", "fedasync", "airfedga"};
+
+/// The mechanism registry: one row per kind, holding the display name and
+/// a factory over the uniform fl::MechanismConfig. Adding a mechanism is
+/// one row here (plus its validate() knob checks) — no per-call-site
+/// constructor wiring.
+template <typename M>
+std::unique_ptr<fl::Mechanism> make_mechanism(const fl::MechanismConfig& mc) {
+  return std::make_unique<M>(mc);
+}
+
+struct MechanismKindEntry {
+  const char* kind;
+  const char* display;
+  std::unique_ptr<fl::Mechanism> (*factory)(const fl::MechanismConfig&);
+};
+
+constexpr MechanismKindEntry kMechanismTable[] = {
+    {"fedavg", "FedAvg", &make_mechanism<fl::FedAvg>},
+    {"airfedavg", "Air-FedAvg", &make_mechanism<fl::AirFedAvg>},
+    {"dynamic", "Dynamic", &make_mechanism<fl::DynamicAirComp>},
+    {"tifl", "TiFL", &make_mechanism<fl::TiFL>},
+    {"fedasync", "FedAsync", &make_mechanism<fl::FedAsync>},
+    {"semiasync", "Semi-Async", &make_mechanism<fl::SemiAsync>},
+    {"airfedga", "Air-FedGA", &make_mechanism<fl::AirFedGA>},
+};
+
+const MechanismKindEntry* find_mechanism_kind(const std::string& kind) {
+  for (const auto& entry : kMechanismTable)
+    if (kind == entry.kind) return &entry;
+  return nullptr;
+}
+
+const std::vector<std::string> kMechanismKinds = [] {
+  std::vector<std::string> kinds;
+  for (const auto& entry : kMechanismTable) kinds.emplace_back(entry.kind);
+  return kinds;
+}();
 
 std::string join(const std::vector<std::string>& v) {
   std::string out;
@@ -237,6 +272,13 @@ Json ScenarioSpec::to_json() const {
       mj.set("mixing", m.mixing);
       mj.set("damping", m.damping);
     }
+    if (m.kind == "semiasync") {
+      mj.set("mixing", m.mixing);
+      mj.set("damping", m.damping);
+      mj.set("aggregate_count", m.aggregate_count);
+      mj.set("staleness_bound", m.staleness_bound);
+      mj.set("damping_schedule", m.damping_schedule);
+    }
     if (m.kind == "airfedga") {
       mj.set("xi", m.xi);
       mj.set("refine_passes", m.refine_passes);
@@ -354,6 +396,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
       m.count("tiers", ms.tiers);
       m.number("mixing", ms.mixing);
       m.number("damping", ms.damping);
+      m.count("aggregate_count", ms.aggregate_count);
+      m.count("staleness_bound", ms.staleness_bound);
+      m.str("damping_schedule", ms.damping_schedule);
       m.number("xi", ms.xi);
       m.count("refine_passes", ms.refine_passes);
       m.number("staleness_damping", ms.staleness_damping);
@@ -473,9 +518,13 @@ void ScenarioSpec::validate() const {
     if (m.kind == "dynamic" && (m.selection_quantile < 0.0 || m.selection_quantile >= 1.0))
       bad(p + "selection_quantile: must be in [0, 1)");
     if (m.kind == "tifl" && m.tiers == 0) bad(p + "tiers: must be >= 1");
-    if (m.kind == "fedasync" && (m.mixing <= 0.0 || m.mixing > 1.0))
-      bad(p + "mixing: must be in (0, 1]");
-    if (m.kind == "fedasync" && m.damping < 0.0) bad(p + "damping: must be >= 0");
+    const bool damped = m.kind == "fedasync" || m.kind == "semiasync";
+    if (damped && (m.mixing <= 0.0 || m.mixing > 1.0)) bad(p + "mixing: must be in (0, 1]");
+    if (damped && m.damping < 0.0) bad(p + "damping: must be >= 0");
+    if (m.kind == "semiasync" && m.aggregate_count == 0)
+      bad(p + "aggregate_count: must be >= 1");
+    if (m.kind == "semiasync" && m.damping_schedule != "poly" && m.damping_schedule != "exp")
+      bad(p + "damping_schedule: must be \"poly\" or \"exp\"");
     if (m.kind == "airfedga" && (m.xi < 0.0 || m.xi > 1.0)) bad(p + "xi: must be in [0, 1]");
     if (m.kind == "airfedga" && m.staleness_damping < 0.0)
       bad(p + "staleness_damping: must be >= 0");
@@ -485,29 +534,28 @@ void ScenarioSpec::validate() const {
 // ----------------------------------------------------------------- build --
 
 std::string MechanismSpec::display_name() const {
-  if (kind == "fedavg") return "FedAvg";
-  if (kind == "airfedavg") return "Air-FedAvg";
-  if (kind == "dynamic") return "Dynamic";
-  if (kind == "tifl") return "TiFL";
-  if (kind == "fedasync") return "FedAsync";
-  if (kind == "airfedga") return "Air-FedGA";
+  if (const auto* entry = find_mechanism_kind(kind)) return entry->display;
   throw std::invalid_argument("mechanism kind: unknown kind \"" + kind + "\" (one of: " +
                               join(kMechanismKinds) + ")");
 }
 
+fl::MechanismConfig MechanismSpec::to_config() const {
+  fl::MechanismConfig mc;
+  mc.selection_quantile = selection_quantile;
+  mc.tiers = tiers;
+  mc.mixing = mixing;
+  mc.damping = damping;
+  mc.aggregate_count = aggregate_count;
+  mc.staleness_bound = staleness_bound;
+  mc.damping_schedule = damping_schedule;
+  mc.grouping.xi = xi;
+  mc.grouping.refine_passes = refine_passes;
+  mc.staleness_damping = staleness_damping;
+  return mc;
+}
+
 std::unique_ptr<fl::Mechanism> MechanismSpec::make() const {
-  if (kind == "fedavg") return std::make_unique<fl::FedAvg>();
-  if (kind == "airfedavg") return std::make_unique<fl::AirFedAvg>();
-  if (kind == "dynamic") return std::make_unique<fl::DynamicAirComp>(selection_quantile);
-  if (kind == "tifl") return std::make_unique<fl::TiFL>(tiers);
-  if (kind == "fedasync") return std::make_unique<fl::FedAsync>(mixing, damping);
-  if (kind == "airfedga") {
-    fl::AirFedGA::Options opts;
-    opts.grouping.xi = xi;
-    opts.grouping.refine_passes = refine_passes;
-    opts.staleness_damping = staleness_damping;
-    return std::make_unique<fl::AirFedGA>(opts);
-  }
+  if (const auto* entry = find_mechanism_kind(kind)) return entry->factory(to_config());
   throw std::invalid_argument("mechanism kind: unknown kind \"" + kind + "\" (one of: " +
                               join(kMechanismKinds) + ")");
 }

@@ -43,18 +43,28 @@ struct PartitionSpec {
 };
 
 /// One mechanism to run, with its tuning knobs. Knobs irrelevant to a kind
-/// are ignored by build and omitted from to_json.
+/// are ignored by build and omitted from to_json. Construction is
+/// table-driven: the spec lowers to one uniform fl::MechanismConfig and the
+/// kind indexes the mechanism registry (no per-kind constructor wiring).
 struct MechanismSpec {
-  std::string kind = "airfedga";  ///< fedavg | airfedavg | dynamic | tifl | fedasync | airfedga
+  /// fedavg | airfedavg | dynamic | tifl | fedasync | semiasync | airfedga
+  std::string kind = "airfedga";
   double selection_quantile = 0.5;  ///< dynamic: per-round gain cutoff
   std::size_t tiers = 5;            ///< tifl: response-time tier count
-  double mixing = 0.6;              ///< fedasync: base mixing weight alpha
-  double damping = 0.5;             ///< fedasync: staleness exponent
+  double mixing = 0.6;              ///< fedasync/semiasync: base mixing weight alpha
+  double damping = 0.5;             ///< fedasync/semiasync: staleness exponent/rate
+  std::size_t aggregate_count = 4;  ///< semiasync: flush the buffer at K uploads
+  std::size_t staleness_bound = 4;  ///< semiasync: forced flush at this staleness
+  std::string damping_schedule = "poly";  ///< semiasync: "poly" | "exp" sigma(tau)
   double xi = 0.3;                  ///< airfedga: constraint (36d) budget
   std::size_t refine_passes = 3;    ///< airfedga: Alg. 3 local-search passes
   double staleness_damping = 0.0;   ///< airfedga: FedAsync-style damping extension
 
-  /// Constructs the mechanism object this spec describes.
+  /// Lowers the spec's knobs into the uniform mechanism configuration.
+  [[nodiscard]] fl::MechanismConfig to_config() const;
+
+  /// Constructs the mechanism object this spec describes (registry lookup
+  /// by kind, then the kind's factory applied to to_config()).
   [[nodiscard]] std::unique_ptr<fl::Mechanism> make() const;
 
   /// Display name of the mechanism kind ("Air-FedGA", ...).

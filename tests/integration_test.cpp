@@ -99,7 +99,7 @@ TEST(Integration, GroupingImprovesOverTimeOnlyTiers) {
 
   sim::ClusterModel cluster(s.cfg.partition.size(), s.cfg.cluster);
   const auto tiers = core::tifl_grouping(cluster.local_times(), ours.groups().size());
-  AirFedGA::Options opts;
+  MechanismConfig opts;
   opts.groups_override = tiers;
   AirFedGA tier_forced(opts);
   const Metrics r_tiers = tier_forced.run(s.cfg);

@@ -141,7 +141,7 @@ TEST(AirFedAvg, NearlyMatchesFedAvgAccuracyPerRound) {
 
 TEST(Dynamic, SelectsSubsetsAndJitters) {
   Fixture f;
-  DynamicAirComp m(0.5);
+  DynamicAirComp m(MechanismConfig{.selection_quantile = 0.5});
   const Metrics res = m.run(f.cfg);
   ASSERT_GT(res.points().size(), 3u);
   EXPECT_GT(res.total_energy(), 0.0);
@@ -149,13 +149,13 @@ TEST(Dynamic, SelectsSubsetsAndJitters) {
 
 TEST(Dynamic, RejectsBadQuantile) {
   Fixture f;
-  DynamicAirComp m(1.5);
+  DynamicAirComp m(MechanismConfig{.selection_quantile = 1.5});
   EXPECT_THROW(m.run(f.cfg), std::invalid_argument);
 }
 
 TEST(TiFL, TiersExposedAndAsyncRoundsShorterThanSync) {
   Fixture f;
-  TiFL tifl(5);
+  TiFL tifl(MechanismConfig{.tiers = 5});
   const Metrics r_tifl = tifl.run(f.cfg);
   EXPECT_EQ(tifl.tiers().size(), 5u);
   data::validate_groups(tifl.tiers(), f.cfg.partition.size());
@@ -167,7 +167,7 @@ TEST(TiFL, TiersExposedAndAsyncRoundsShorterThanSync) {
 
 TEST(TiFL, RecordsPositiveStaleness) {
   Fixture f;
-  TiFL tifl(5);
+  TiFL tifl(MechanismConfig{.tiers = 5});
   const Metrics res = tifl.run(f.cfg);
   EXPECT_GT(res.max_staleness(), 0.0);
 }
@@ -224,7 +224,7 @@ TEST(AirFedGA, ReachesTargetFasterThanSyncBaselines) {
 TEST(AirFedGA, GroupOverrideIsHonored) {
   Fixture f(11, 8);
   data::WorkerGroups groups = {{0, 1, 2, 3}, {4, 5, 6, 7}};
-  AirFedGA::Options opts;
+  MechanismConfig opts;
   opts.groups_override = groups;
   AirFedGA m(opts);
   const Metrics res = m.run(f.cfg);
@@ -234,7 +234,7 @@ TEST(AirFedGA, GroupOverrideIsHonored) {
 
 TEST(AirFedGA, GroupOverrideRejectsInvalid) {
   Fixture f(11, 8);
-  AirFedGA::Options opts;
+  MechanismConfig opts;
   opts.groups_override = data::WorkerGroups{{0, 1}};  // misses workers 2..7
   AirFedGA m(opts);
   EXPECT_THROW(m.run(f.cfg), std::invalid_argument);
@@ -242,7 +242,7 @@ TEST(AirFedGA, GroupOverrideRejectsInvalid) {
 
 TEST(AirFedGA, StalenessDampingRuns) {
   Fixture f;
-  AirFedGA::Options opts;
+  MechanismConfig opts;
   opts.staleness_damping = 0.5;
   AirFedGA damped(opts);
   const Metrics res = damped.run(f.cfg);
@@ -255,7 +255,7 @@ TEST(AirFedGA, StarvedGroupDoesNotBlockOthers) {
   // budget; the rest of the system must keep aggregating.
   Fixture f(13, 6);
   data::WorkerGroups groups = {{0}, {1}, {2}, {3}, {4}, {5}};
-  AirFedGA::Options opts;
+  MechanismConfig opts;
   opts.groups_override = groups;
   AirFedGA m(opts);
   f.cfg.cluster.kappa_max = 10.0;
@@ -288,7 +288,7 @@ TEST(AirFedGA, RecordsStalenessAndEnergy) {
 
 TEST(FedAsync, LearnsAndRecordsStaleness) {
   Fixture f;
-  FedAsync m(0.6, 0.5);
+  FedAsync m(MechanismConfig{.mixing = 0.6, .damping = 0.5});
   const Metrics res = m.run(f.cfg);
   ASSERT_FALSE(res.empty());
   EXPECT_GT(res.total_rounds(), 50u);  // per-worker updates come fast
@@ -311,8 +311,8 @@ TEST(FedAsync, DampingStabilizesUnderSkew) {
   // With label-skewed singleton updates, undamped mixing thrashes the
   // global model; damping by (1+tau)^a must not be worse at the end.
   Fixture f;
-  FedAsync undamped(0.9, 0.0);
-  FedAsync damped(0.9, 1.0);
+  FedAsync undamped(MechanismConfig{.mixing = 0.9, .damping = 0.0});
+  FedAsync damped(MechanismConfig{.mixing = 0.9, .damping = 1.0});
   const Metrics r_un = undamped.run(f.cfg);
   const Metrics r_da = damped.run(f.cfg);
   auto tail_mean = [](const Metrics& m) {
@@ -327,9 +327,9 @@ TEST(FedAsync, DampingStabilizesUnderSkew) {
 
 TEST(FedAsync, RejectsBadParameters) {
   Fixture f;
-  FedAsync bad_mixing(0.0, 0.5);
+  FedAsync bad_mixing(MechanismConfig{.mixing = 0.0, .damping = 0.5});
   EXPECT_THROW(bad_mixing.run(f.cfg), std::invalid_argument);
-  FedAsync bad_damping(0.5, -1.0);
+  FedAsync bad_damping(MechanismConfig{.mixing = 0.5, .damping = -1.0});
   EXPECT_THROW(bad_damping.run(f.cfg), std::invalid_argument);
 }
 
@@ -429,7 +429,7 @@ TEST(MaxRounds, CapsAllMechanisms) {
   f.cfg.eval_every = 1;
   f.cfg.time_budget = 1e9;
   AirFedGA ga;
-  TiFL tifl(4);
+  TiFL tifl(MechanismConfig{.tiers = 4});
   AirFedAvg sync;
   EXPECT_EQ(ga.run(f.cfg).total_rounds(), 7u);
   EXPECT_EQ(tifl.run(f.cfg).total_rounds(), 7u);

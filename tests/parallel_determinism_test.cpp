@@ -101,7 +101,7 @@ TEST(ParallelDeterminism, Dynamic) {
 }
 
 TEST(ParallelDeterminism, TiFL) {
-  check_thread_invariance([] { return TiFL(3); });
+  check_thread_invariance([] { return TiFL(MechanismConfig{.tiers = 3}); });
 }
 
 TEST(ParallelDeterminism, FedAsync) {
@@ -110,9 +110,15 @@ TEST(ParallelDeterminism, FedAsync) {
 
 TEST(ParallelDeterminism, StalenessDampedAirFedGA) {
   check_thread_invariance([] {
-    AirFedGA::Options opts;
+    MechanismConfig opts;
     opts.staleness_damping = 0.5;
     return AirFedGA(opts);
+  });
+}
+
+TEST(ParallelDeterminism, SemiAsync) {
+  check_thread_invariance([] {
+    return SemiAsync(MechanismConfig{.aggregate_count = 3, .staleness_bound = 4});
   });
 }
 

@@ -214,6 +214,45 @@ TEST(Runner, WriteResultsIsFreshByDefaultAndAppendsOnRequest) {
   EXPECT_TRUE(fs::exists(tmp.path / "points" / "tiny_Air-FedGA_t1.csv"));
 }
 
+TEST(Runner, AppendAcrossInvocationsKeepsEarlierPointsSeries) {
+  // Regression: the per-call stem_uses counter resets between write_results
+  // invocations, so a second --append session for the same run identity
+  // used to reuse the first session's points stem and silently overwrite
+  // its series even though results.jsonl kept both rows. Append mode must
+  // probe the points/ directory and pick a fresh suffixed stem instead.
+  TempDir tmp;
+  const ScenarioResult r = run_scenario(tiny_spec());
+  WriteOptions app;
+  app.append = true;
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  const std::string first = slurp(tmp.path / "points" / "tiny_Air-FedGA_t1.csv");
+  ASSERT_FALSE(first.empty());
+
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  // The original series is untouched...
+  EXPECT_EQ(slurp(tmp.path / "points" / "tiny_Air-FedGA_t1.csv"), first);
+  // ...and each JSONL row points at its own existing file.
+  std::ifstream jsonl(tmp.path / "results.jsonl");
+  std::string l1;
+  std::string l2;
+  ASSERT_TRUE(std::getline(jsonl, l1));
+  ASSERT_TRUE(std::getline(jsonl, l2));
+  const std::string p1 = Json::parse(l1).at("points_csv").as_string();
+  const std::string p2 = Json::parse(l2).at("points_csv").as_string();
+  EXPECT_NE(p1, p2);
+  EXPECT_TRUE(fs::exists(tmp.path / p1));
+  EXPECT_TRUE(fs::exists(tmp.path / p2));
+
+  // A third session keeps probing past both existing stems.
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  std::string l3;
+  ASSERT_TRUE(std::getline(jsonl, l3));
+  const std::string p3 = Json::parse(l3).at("points_csv").as_string();
+  EXPECT_NE(p3, p1);
+  EXPECT_NE(p3, p2);
+  EXPECT_TRUE(fs::exists(tmp.path / p3));
+}
+
 TEST(Runner, WriteResultsWithoutTimingOmitsWallClockFields) {
   TempDir tmp;
   const ScenarioResult r = run_scenario(tiny_spec());
