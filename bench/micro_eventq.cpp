@@ -1,0 +1,217 @@
+// Event-queue microbenchmark: schedule/pop throughput of the binary-heap
+// vs calendar EventQueue backends at up to >= 1e5 pending events, under
+// the two access patterns the scheduling loop produces:
+//
+//   drain  bulk-schedule N events, then pop all of them (seed_queue at a
+//          huge population, then the run's tail);
+//   hold   steady state: every pop schedules a successor near the new
+//          clock (the classic hold model; what a long run looks like).
+//
+// Every measured workload also records its pop sequence on both backends
+// and the bench exits 1 if they differ in any (time, seq, kind, actor)
+// field — the throughput numbers are only meaningful if the backends are
+// observably identical. Tie coverage is built in: event times are
+// quantized so many events share a timestamp and seq must break the tie.
+//
+// Usage: micro_eventq [--json=<path>] [--max-events=<n>] [--hold-factor=<k>]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "scenario/json.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace airfedga;
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* backend_name(sim::QueueBackend b) {
+  return b == sim::QueueBackend::kBinaryHeap ? "heap" : "calendar";
+}
+
+/// One popped event, recorded for the cross-backend identity check.
+struct PopRec {
+  double time;
+  std::uint64_t seq;
+  int kind;
+  std::size_t actor;
+  bool operator==(const PopRec&) const = default;
+};
+
+struct WorkloadResult {
+  double schedule_ops_per_s = 0;  ///< bulk schedules (drain) or 0 (hold)
+  double pop_ops_per_s = 0;       ///< bulk pops (drain) or pop+schedule pairs (hold)
+  std::vector<PopRec> trace;
+};
+
+/// Quantizes `x` onto a grid of `cell` so distinct draws collide into
+/// timestamp ties (seq must break them; the identity check covers it).
+double quantize(double x, double cell) { return std::floor(x / cell) * cell; }
+
+/// drain: schedule `n` tie-heavy events over a span of n/8 virtual
+/// seconds, then pop the queue empty. Times are pre-generated so the RNG
+/// is outside both timed sections.
+WorkloadResult run_drain(sim::QueueBackend be, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double span = static_cast<double>(n) / 8.0;
+  const double cell = span / (static_cast<double>(n) / 4.0);  // ~4 events per timestamp
+  std::vector<double> times(n);
+  for (auto& t : times) t = quantize(rng.uniform(0.0, span), cell);
+
+  sim::EventQueue q(be);
+  WorkloadResult r;
+  double t0 = now_seconds();
+  for (std::size_t i = 0; i < n; ++i) q.schedule(times[i], static_cast<int>(i & 3), i);
+  r.schedule_ops_per_s = static_cast<double>(n) / (now_seconds() - t0);
+
+  r.trace.reserve(n);
+  t0 = now_seconds();
+  while (!q.empty()) {
+    const sim::Event e = q.pop();
+    r.trace.push_back({e.time, e.seq, e.kind, e.actor});
+  }
+  r.pop_ops_per_s = static_cast<double>(n) / (now_seconds() - t0);
+  return r;
+}
+
+/// hold: prefill `n` events, then `ops` pop+schedule pairs where each
+/// successor lands near the advancing clock (zero increments allowed, so
+/// schedule-at-now ties are exercised too).
+WorkloadResult run_hold(sim::QueueBackend be, std::size_t n, std::size_t ops,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double span = static_cast<double>(n) / 8.0;
+  const double cell = span / (static_cast<double>(n) / 4.0);
+  const double gap = 2.0 * span / static_cast<double>(n);  // keeps density steady
+
+  sim::EventQueue q(be);
+  for (std::size_t i = 0; i < n; ++i)
+    q.schedule(quantize(rng.uniform(0.0, span), cell), static_cast<int>(i & 3), i);
+
+  // Pre-generate the increments: the RNG stream must not depend on popped
+  // state, and its cost must stay outside the timed loop.
+  std::vector<double> inc(ops);
+  for (auto& d : inc) d = quantize(rng.uniform(0.0, gap), cell);
+
+  WorkloadResult r;
+  r.trace.reserve(ops);
+  const double t0 = now_seconds();
+  for (std::size_t k = 0; k < ops; ++k) {
+    const sim::Event e = q.pop();
+    r.trace.push_back({e.time, e.seq, e.kind, e.actor});
+    q.schedule(e.time + inc[k], e.kind, e.actor);
+  }
+  r.pop_ops_per_s = static_cast<double>(ops) / (now_seconds() - t0);
+  return r;
+}
+
+/// Index of the first divergence between two traces, or npos when equal.
+std::size_t first_mismatch(const std::vector<PopRec>& a, const std::vector<PopRec>& b) {
+  if (a.size() != b.size()) return std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i] == b[i])) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FlagParser flags(
+      "Event-queue microbenchmark: binary heap vs calendar queue schedule/pop throughput under "
+      "drain and hold workloads, with a cross-backend pop-sequence identity check (exit 1 on any "
+      "divergence).");
+  flags.add("json", "append one JSONL record per measurement to this file");
+  flags.add("max-events", "largest pending-event count in the size grid (default 100000)");
+  flags.add("hold-factor", "hold workload runs size*factor pop+schedule pairs (default 2)");
+  if (auto ec = flags.parse(argc, argv)) return *ec;
+
+  std::size_t max_events = 100000;
+  if (const std::string* v = flags.get("max-events")) max_events = std::strtoull(v->c_str(), nullptr, 10);
+  std::size_t hold_factor = 2;
+  if (const std::string* v = flags.get("hold-factor")) hold_factor = std::strtoull(v->c_str(), nullptr, 10);
+  if (max_events < 1000 || hold_factor == 0) {
+    std::fprintf(stderr, "invalid --max-events (>= 1000) or --hold-factor (>= 1)\n");
+    return 2;
+  }
+
+  std::vector<std::size_t> sizes = {1000, 10000};
+  for (std::size_t s : {std::size_t{100000}, max_events})
+    if (s <= max_events && s > sizes.back()) sizes.push_back(s);
+
+  constexpr std::uint64_t kSeed = 42;
+  constexpr sim::QueueBackend kBackends[] = {sim::QueueBackend::kBinaryHeap,
+                                             sim::QueueBackend::kCalendar};
+
+  std::vector<scenario::Json> records;
+  bool identical = true;
+
+  util::Table t({"workload", "pending", "backend", "sched Mops/s", "pop Mops/s", "identical"});
+  for (std::size_t n : sizes) {
+    WorkloadResult drain[2];
+    WorkloadResult hold[2];
+    for (int b = 0; b < 2; ++b) {
+      drain[b] = run_drain(kBackends[b], n, kSeed + n);
+      hold[b] = run_hold(kBackends[b], n, n * hold_factor, kSeed + n + 1);
+    }
+    struct Row {
+      const char* workload;
+      const WorkloadResult* res;
+    };
+    const Row rows[] = {{"drain", drain}, {"hold", hold}};
+    for (const auto& [workload, res] : rows) {
+      const std::size_t bad = first_mismatch(res[0].trace, res[1].trace);
+      const bool ok = bad == static_cast<std::size_t>(-1);
+      identical = identical && ok;
+      if (!ok)
+        std::fprintf(stderr, "FAIL: %s n=%zu pop sequences diverge at index %zu\n", workload, n,
+                     bad);
+      for (int b = 0; b < 2; ++b) {
+        t.add_row({workload, util::Table::fmt_int(static_cast<long long>(n)),
+                   backend_name(kBackends[b]),
+                   res[b].schedule_ops_per_s > 0
+                       ? util::Table::fmt(res[b].schedule_ops_per_s / 1e6, 2)
+                       : "-",
+                   util::Table::fmt(res[b].pop_ops_per_s / 1e6, 2), ok ? "yes" : "NO"});
+        scenario::Json rec = scenario::Json::object();
+        rec.set("kind", "eventq");
+        rec.set("workload", workload);
+        rec.set("pending", n);
+        rec.set("backend", backend_name(kBackends[b]));
+        if (res[b].schedule_ops_per_s > 0)
+          rec.set("schedule_ops_per_s", res[b].schedule_ops_per_s);
+        rec.set("pop_ops_per_s", res[b].pop_ops_per_s);
+        rec.set("identical", scenario::Json(ok));
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+
+  std::printf("=== EventQueue backends: heap vs calendar ===\n");
+  t.print(std::cout);
+  std::printf("(hold pop Mops/s counts pop+schedule pairs; identical = both backends popped the "
+              "same (time, seq, kind, actor) sequence)\n");
+
+  if (const std::string* path = flags.get("json")) {
+    std::ofstream out(*path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path->c_str());
+      return 1;
+    }
+    for (const auto& rec : records) out << rec.dump() << "\n";
+    std::printf("\nwrote %zu records to %s\n", records.size(), path->c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -5,21 +5,30 @@
 
 namespace airfedga::data {
 
-DataStats::DataStats(const Dataset& ds, const Partition& partition) {
-  const std::size_t n = partition.size();
+DataStats::DataStats(const Dataset& ds, const Partition& partition, std::size_t population) {
+  const std::size_t shards = partition.size();
   const std::size_t k = ds.num_classes;
   if (k == 0) throw std::invalid_argument("DataStats: dataset has no classes");
-  d_i_.assign(n, 0);
-  d_ik_.assign(n, std::vector<std::size_t>(k, 0));
-  std::vector<std::size_t> class_total(k, 0);
-  for (std::size_t w = 0; w < n; ++w) {
-    for (auto idx : partition[w]) {
+  population_ = population == 0 ? shards : population;
+  if (population_ < shards)
+    throw std::invalid_argument("DataStats: population smaller than shard count");
+  d_s_.assign(shards, 0);
+  d_sk_.assign(shards, std::vector<std::size_t>(k, 0));
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (auto idx : partition[s]) {
       const int label = ds.ys.at(idx);
-      ++d_i_[w];
-      ++d_ik_[w][static_cast<std::size_t>(label)];
-      ++class_total[static_cast<std::size_t>(label)];
-      ++total_;
+      ++d_s_[s];
+      ++d_sk_[s][static_cast<std::size_t>(label)];
     }
+  }
+  // Worker i holds shard i % shards, so shard s is replicated across
+  // m_s = ceil-or-floor(population/shards) workers; totals weight by m_s
+  // to stay integer-identical to the per-worker loop.
+  std::vector<std::size_t> class_total(k, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t mult = population_ / shards + (s < population_ % shards ? 1 : 0);
+    total_ += mult * d_s_[s];
+    for (std::size_t c = 0; c < k; ++c) class_total[c] += mult * d_sk_[s][c];
   }
   if (total_ == 0) throw std::invalid_argument("DataStats: empty partition");
   lambda_.resize(k);
@@ -27,23 +36,28 @@ DataStats::DataStats(const Dataset& ds, const Partition& partition) {
     lambda_[c] = static_cast<double>(class_total[c]) / static_cast<double>(total_);
 }
 
+std::size_t DataStats::shard_of(std::size_t i) const {
+  if (i >= population_) throw std::out_of_range("DataStats: worker id out of range");
+  return i % d_s_.size();
+}
+
 double DataStats::alpha(std::size_t i) const {
-  return static_cast<double>(d_i_.at(i)) / static_cast<double>(total_);
+  return static_cast<double>(d_s_.at(shard_of(i))) / static_cast<double>(total_);
 }
 
 std::size_t DataStats::worker_class_size(std::size_t i, std::size_t k) const {
-  return d_ik_.at(i).at(k);
+  return d_sk_.at(shard_of(i)).at(k);
 }
 
 double DataStats::alpha_class(std::size_t i, std::size_t k) const {
-  const auto di = d_i_.at(i);
+  const auto di = d_s_.at(shard_of(i));
   if (di == 0) return 0.0;
-  return static_cast<double>(d_ik_.at(i).at(k)) / static_cast<double>(di);
+  return static_cast<double>(d_sk_.at(shard_of(i)).at(k)) / static_cast<double>(di);
 }
 
 std::size_t DataStats::group_size(const std::vector<std::size_t>& group) const {
   std::size_t s = 0;
-  for (auto i : group) s += d_i_.at(i);
+  for (auto i : group) s += d_s_.at(shard_of(i));
   return s;
 }
 
@@ -55,7 +69,7 @@ double DataStats::beta_class(const std::vector<std::size_t>& group, std::size_t 
   const std::size_t dj = group_size(group);
   if (dj == 0) return 0.0;
   std::size_t djk = 0;
-  for (auto i : group) djk += d_ik_.at(i).at(k);
+  for (auto i : group) djk += d_sk_.at(shard_of(i)).at(k);
   return static_cast<double>(djk) / static_cast<double>(dj);
 }
 

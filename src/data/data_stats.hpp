@@ -16,13 +16,22 @@ using WorkerGroups = std::vector<std::vector<std::size_t>>;
 /// any candidate grouping.
 class DataStats {
  public:
-  DataStats(const Dataset& ds, const Partition& partition);
+  /// Statistics for `population` workers over `partition.size()` shards
+  /// (worker i holds shard i % shards; population 0 means one worker per
+  /// shard, the legacy eager layout). Totals weight each shard by its
+  /// worker multiplicity, so with population == shards every quantity is
+  /// integer-identical to the per-worker construction.
+  DataStats(const Dataset& ds, const Partition& partition, std::size_t population = 0);
 
-  [[nodiscard]] std::size_t num_workers() const { return d_i_.size(); }
+  [[nodiscard]] std::size_t num_workers() const { return population_; }
   [[nodiscard]] std::size_t num_classes() const { return lambda_.size(); }
+  /// Number of distinct data shards backing the population.
+  [[nodiscard]] std::size_t num_shards() const { return d_s_.size(); }
+  /// The shard worker i draws its data from (i % num_shards()).
+  [[nodiscard]] std::size_t shard_of(std::size_t i) const;
 
   /// d_i: sample count on worker i.
-  [[nodiscard]] std::size_t worker_size(std::size_t i) const { return d_i_.at(i); }
+  [[nodiscard]] std::size_t worker_size(std::size_t i) const { return d_s_.at(shard_of(i)); }
   /// D: total sample count.
   [[nodiscard]] std::size_t total_size() const { return total_; }
   /// alpha_i = d_i / D.
@@ -52,10 +61,11 @@ class DataStats {
   [[nodiscard]] double worker_emd(std::size_t i) const;
 
  private:
-  std::vector<std::size_t> d_i_;
-  std::vector<std::vector<std::size_t>> d_ik_;  // [worker][class]
+  std::vector<std::size_t> d_s_;                // [shard] sample count
+  std::vector<std::vector<std::size_t>> d_sk_;  // [shard][class]
   std::vector<double> lambda_;
-  std::size_t total_ = 0;
+  std::size_t population_ = 0;
+  std::size_t total_ = 0;  // multiplicity-weighted: sum_i d_{shard_of(i)}
 };
 
 /// Checks disjointness + coverage of a grouping over `num_workers` workers.

@@ -5,6 +5,29 @@
 
 namespace airfedga::data {
 
+ShardIndex::ShardIndex(const Partition& partition) {
+  offsets_.reserve(partition.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& shard : partition) total += shard.size();
+  arena_.reserve(total);
+  for (const auto& shard : partition) {
+    arena_.insert(arena_.end(), shard.begin(), shard.end());
+    offsets_.push_back(arena_.size());
+  }
+}
+
+std::span<const std::size_t> ShardIndex::shard(std::size_t s) const {
+  if (s + 1 >= offsets_.size()) throw std::out_of_range("ShardIndex::shard: index out of range");
+  return std::span<const std::size_t>(arena_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]);
+}
+
+std::size_t ShardIndex::shard_size(std::size_t s) const {
+  if (s + 1 >= offsets_.size())
+    throw std::out_of_range("ShardIndex::shard_size: index out of range");
+  return offsets_[s + 1] - offsets_[s];
+}
+
 Partition partition_iid(const Dataset& ds, std::size_t num_workers, util::Rng& rng) {
   if (num_workers == 0) throw std::invalid_argument("partition_iid: zero workers");
   auto perm = rng.permutation(ds.size());

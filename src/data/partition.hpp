@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -8,6 +9,39 @@ namespace airfedga::data {
 
 /// A partition assigns every training-sample index to exactly one worker.
 using Partition = std::vector<std::vector<std::size_t>>;  // [worker] -> sample indices
+
+/// Immutable, flattened view of a Partition: all shard index lists packed
+/// into one contiguous arena with per-shard offsets. Workers hold
+/// `std::span`s into the arena instead of per-worker index copies, so a
+/// population of 10^6 workers over S shards costs O(dataset + S) memory
+/// for data views instead of O(population * shard). Shard s of worker i
+/// is `shard(i % num_shards())` (population scale-out maps many workers
+/// onto one shard).
+class ShardIndex {
+ public:
+  /// Empty index (no shards); assignable later.
+  ShardIndex() = default;
+
+  /// Flattens `partition` (shard order and within-shard order preserved,
+  /// so views are byte-identical to the source lists).
+  explicit ShardIndex(const Partition& partition);
+
+  /// Number of distinct shards.
+  [[nodiscard]] std::size_t num_shards() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Read-only view of shard `s`'s sample indices. Stable for the life of
+  /// the ShardIndex (the arena never reallocates after construction).
+  [[nodiscard]] std::span<const std::size_t> shard(std::size_t s) const;
+
+  /// Sample count of shard `s`.
+  [[nodiscard]] std::size_t shard_size(std::size_t s) const;
+
+ private:
+  std::vector<std::size_t> arena_;    // all shards' indices, back to back
+  std::vector<std::size_t> offsets_;  // [s, s+1) brackets shard s in arena_
+};
 
 /// Uniformly random split into `num_workers` near-equal shards.
 Partition partition_iid(const Dataset& ds, std::size_t num_workers, util::Rng& rng);

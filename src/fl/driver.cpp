@@ -7,6 +7,7 @@
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "util/stats.hpp"
 
@@ -22,6 +23,8 @@ void FLConfig::validate() const {
   if (time_budget <= 0.0) throw std::invalid_argument("FLConfig: time budget must be > 0");
   if (eval_every == 0) throw std::invalid_argument("FLConfig: eval_every must be >= 1");
   if (energy_cap <= 0.0) throw std::invalid_argument("FLConfig: energy cap must be > 0");
+  if (population != 0 && population < partition.size())
+    throw std::invalid_argument("FLConfig: population must be 0 or >= the shard count");
 }
 
 namespace {
@@ -50,10 +53,12 @@ class Driver::ScratchLease {
 
 Driver::Driver(const FLConfig& cfg)
     : cfg_(&cfg),
+      population_(cfg.population == 0 ? cfg.partition.size() : cfg.population),
+      shards_(cfg.partition),
       scratch_(cfg.model_factory()),
-      stats_(*cfg.train, cfg.partition),
-      cluster_(cfg.partition.size(), cfg.cluster),
-      fading_(cfg.partition.size(), cfg.fading),
+      stats_(*cfg.train, cfg.partition, population_),
+      cluster_(population_, cfg.cluster),
+      fading_(population_, cfg.fading),
       aircomp_([&] {
         auto c = cfg.aircomp;
         c.seed = util::splitmix64(cfg.seed ^ 0xA17C0);  // decorrelate from weights
@@ -62,11 +67,20 @@ Driver::Driver(const FLConfig& cfg)
       latency_(cfg.latency) {
   cfg.validate();
   model_dim_ = scratch_.num_parameters();
+  lazy_ = cfg.lazy_workers;
 
-  util::Rng root(cfg.seed);
-  workers_.reserve(cfg.partition.size());
-  for (std::size_t i = 0; i < cfg.partition.size(); ++i)
-    workers_.emplace_back(i, *cfg.train, cfg.partition[i], root.fork(1000 + i));
+  if (lazy_) {
+    // Unselected workers are pure descriptors: a slot binding and a replay
+    // counter. Worker instances materialize on lease from the pool below.
+    bound_.assign(population_, kNoSlot);
+    cycles_.assign(population_, 0);
+  } else {
+    util::Rng root(cfg.seed);
+    workers_.reserve(population_);
+    const std::size_t n_shards = shards_.num_shards();
+    for (std::size_t i = 0; i < population_; ++i)
+      workers_.emplace_back(i, *cfg.train, shards_.shard(i % n_shards), root.fork(1000 + i));
+  }
 
   // Execution engine: lanes_ concurrent training slots. A single lane runs
   // tasks inline on the simulation thread (no pool threads), which is the
@@ -74,11 +88,16 @@ Driver::Driver(const FLConfig& cfg)
   // pool. At most one leased scratch model is live per lane, so memory
   // stays O(lanes), not O(workers).
   lanes_ = resolve_lanes(cfg.threads);
-  const std::size_t n_scratch = std::min(lanes_, workers_.size());
+  // The lazy pool recycles down to this many slots: enough that warm
+  // reuse covers back-to-back cohorts (RNG replay makes the recycling
+  // pattern digest-neutral, so a machine-dependent lane count here is
+  // safe).
+  pool_target_ = std::max({2 * lanes_, 2 * cfg.cohort_size, std::size_t{16}});
+  const std::size_t n_scratch = std::min(lanes_, population_);
   scratch_free_.reserve(n_scratch);
   for (std::size_t i = 0; i < n_scratch; ++i)
     scratch_free_.push_back(std::make_unique<ml::Model>(cfg.model_factory()));
-  pending_.resize(workers_.size());
+  pending_.resize(population_);
   pool_ = std::make_unique<util::ThreadPool>(lanes_ > 1 ? lanes_ : 0);
 
   // Fixed evaluation subset: the first eval_samples test points (the test
@@ -122,6 +141,99 @@ void Driver::release_scratch(std::unique_ptr<ml::Model> m) {
   scratch_free_.push_back(std::move(m));
 }
 
+const Worker& Driver::worker(std::size_t i) const {
+  if (!lazy_) return workers_.at(i);
+  if (i >= population_) throw std::out_of_range("Driver::worker: id out of range");
+  const std::size_t slot = bound_[i];
+  if (slot == kNoSlot)
+    throw std::logic_error("Driver::worker: worker not materialized (lazy worker state)");
+  return *pool_slots_[slot];
+}
+
+Worker& Driver::worker(std::size_t i) {
+  return const_cast<Worker&>(std::as_const(*this).worker(i));
+}
+
+std::size_t Driver::worker_pool_size() const {
+  return lazy_ ? pool_slots_.size() : workers_.size();
+}
+
+bool Driver::worker_materialized(std::size_t i) const {
+  if (i >= population_) throw std::out_of_range("Driver::worker_materialized: id out of range");
+  return !lazy_ || bound_[i] != kNoSlot;
+}
+
+util::Rng Driver::worker_rng(std::size_t i) const {
+  // Identical to the eager construction loop: fork() is const on the
+  // parent, so Rng(seed).fork(1000 + i) reproduces worker i's private
+  // stream at any time without the other workers existing.
+  return util::Rng(cfg_->seed).fork(1000 + i);
+}
+
+Worker& Driver::lease_worker(std::size_t i) {
+  std::size_t slot = bound_.at(i);
+  if (slot != kNoSlot) {
+    // Warm: state survived since the last release (or the worker is still
+    // leased in an ongoing cycle); no replay — the engine state is live.
+    if (!slot_leased_[slot]) {
+      const auto it = std::find(released_.begin(), released_.end(), slot);
+      if (it == released_.end())
+        throw std::logic_error("Driver::lease_worker: bound slot missing from release list");
+      released_.erase(it);
+      slot_leased_[slot] = 1;
+    }
+    return *pool_slots_[slot];
+  }
+  if (pool_slots_.size() >= pool_target_ && !released_.empty()) {
+    // Recycle the oldest released slot; its previous owner goes cold and
+    // will replay its RNG stream if selected again.
+    slot = released_.front();
+    released_.erase(released_.begin());
+    bound_[slot_owner_[slot]] = kNoSlot;
+  } else {
+    // Below target, or every slot is leased (a cohort larger than the
+    // pool): grow. Leased Worker addresses stay stable (unique_ptr slots).
+    slot = pool_slots_.size();
+    pool_slots_.emplace_back();
+    slot_leased_.push_back(0);
+    slot_owner_.push_back(kNoSlot);
+  }
+  const auto shard = shards_.shard(i % shards_.num_shards());
+  if (pool_slots_[slot] == nullptr) {
+    pool_slots_[slot] = std::make_unique<Worker>(i, *cfg_->train, shard, worker_rng(i));
+  } else {
+    pool_slots_[slot]->rebind(i, shard, worker_rng(i));
+  }
+  // Reconstruct the exact RNG engine state of the eager layout: each of
+  // the worker's completed local updates consumed local_steps batch draws.
+  pool_slots_[slot]->replay_rng(cycles_[i] * cfg_->local_steps, cfg_->batch_size);
+  slot_owner_[slot] = i;
+  slot_leased_[slot] = 1;
+  bound_[i] = slot;
+  return *pool_slots_[slot];
+}
+
+void Driver::release_workers(const std::vector<std::size_t>& members) {
+  if (!lazy_) return;
+  for (auto m : members) {
+    const std::size_t slot = bound_.at(m);
+    if (slot == kNoSlot)
+      throw std::logic_error("Driver::release_workers: worker was never materialized");
+    if (!slot_leased_[slot]) continue;  // already released (repeat member)
+    if (pending_[m].valid()) continue;  // retraining already; keep the lease
+    slot_leased_[slot] = 0;
+    released_.push_back(slot);
+  }
+}
+
+const std::vector<double>& Driver::round_gains(std::size_t round) {
+  if (gains_round_ != round) {
+    gains_cache_ = fading_.gains(round);
+    gains_round_ = round;
+  }
+  return gains_cache_;
+}
+
 void Driver::begin_training(const std::vector<std::size_t>& members,
                             std::span<const float> global, double deadline) {
   // Snapshot the global model once: the server may install a newer version
@@ -132,9 +244,13 @@ void Driver::begin_training(const std::vector<std::size_t>& members,
   const std::size_t steps = cfg_->local_steps;
   const std::size_t batch = cfg_->batch_size;
   for (auto m : members) {
-    Worker& w = workers_.at(m);
-    if (pending_[m].valid())
+    if (pending_.at(m).valid())
       throw std::logic_error("Driver::begin_training: worker already has a job in flight");
+    // Lazy mode: materialize (or warm-reuse) the worker now, on the
+    // simulation thread, and count the update it is about to run so a
+    // future rematerialization replays the right number of batch draws.
+    Worker& w = lazy_ ? lease_worker(m) : workers_.at(m);
+    if (lazy_) ++cycles_[m];
     // The batch's virtual aggregation deadline is the scheduling key:
     // pending jobs start earliest-deadline-first, so lanes go to the group
     // whose barrier the simulation will reach next.
@@ -308,13 +424,13 @@ EngineStats Driver::engine_stats() const {
 core::PowerControlResult Driver::power_for_group(const std::vector<std::size_t>& members,
                                                  std::size_t round) {
   if (members.empty()) throw std::invalid_argument("power_for_group: empty group");
-  const auto gains = fading_.gains(round);
+  const auto& gains = round_gains(round);
   core::PowerControlInput in;
   in.sigma0_sq = cfg_->aircomp.sigma0_sq;
   double w_sq = 0.0;
   double group_data = 0.0;
   for (auto m : members) {
-    const Worker& w = workers_.at(m);
+    const Worker& w = worker(m);
     if (!w.has_model())
       throw std::logic_error("power_for_group: member has no trained local model");
     w_sq = std::max(w_sq, w.model_norm_sq());
@@ -332,7 +448,7 @@ std::vector<float> Driver::aircomp_aggregate(const std::vector<std::size_t>& mem
                                              std::span<const float> w_prev, std::size_t round,
                                              double& energy_joules) {
   const auto pc = power_for_group(members, round);
-  const auto gains = fading_.gains(round);
+  const auto& gains = round_gains(round);
 
   channel::AirCompChannel::Input in;
   in.w_prev = w_prev;
@@ -340,7 +456,7 @@ std::vector<float> Driver::aircomp_aggregate(const std::vector<std::size_t>& mem
   in.eta = pc.eta;
   in.total_data = static_cast<double>(stats_.total_size());
   for (auto m : members) {
-    const Worker& w = workers_.at(m);
+    const Worker& w = worker(m);
     in.local_models.push_back(w.local_model());
     in.data_sizes.push_back(static_cast<double>(w.data_size()));
     in.gains.push_back(gains.at(m));
@@ -355,7 +471,7 @@ std::vector<float> Driver::oma_aggregate(const std::vector<std::size_t>& members
   std::vector<std::span<const float>> models;
   std::vector<double> sizes;
   for (auto m : members) {
-    const Worker& w = workers_.at(m);
+    const Worker& w = worker(m);
     if (!w.has_model()) throw std::logic_error("oma_aggregate: member has no model");
     models.push_back(w.local_model());
     sizes.push_back(static_cast<double>(w.data_size()));

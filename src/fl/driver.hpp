@@ -18,6 +18,7 @@
 #include "fl/worker.hpp"
 #include "ml/model.hpp"
 #include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
 #include "util/thread_pool.hpp"
 
 /// \namespace airfedga
@@ -43,6 +44,35 @@ struct FLConfig {
   float learning_rate = 0.05f;      ///< SGD step size
   std::size_t local_steps = 1;      ///< SGD steps per local round
   std::size_t batch_size = 32;      ///< 0 = full local shard (paper's setting)
+
+  // Population scale-out
+  /// Worker population size. 0 keeps the legacy one-worker-per-shard
+  /// layout (population = partition.size()); a value > partition.size()
+  /// maps worker i onto data shard i % partition.size(), so millions of
+  /// workers share a bounded set of shard views. Must be 0 or >=
+  /// partition.size().
+  std::size_t population = 0;
+
+  /// Lazy worker state: model replicas and batch buffers are materialized
+  /// only while a worker is selected into a cohort, drawn from a pool
+  /// sized by the lane budget; unselected workers are compact descriptors
+  /// (pending slot, RNG replay counter, shard handle). Selection and
+  /// results are bit-identical to the eager layout — a rematerialized
+  /// worker replays its private RNG stream to the exact engine state it
+  /// would have had. Required shape for populations of 10^5 and beyond.
+  bool lazy_workers = false;
+
+  /// Per-round cohort size for round-barrier and timer mechanisms: each
+  /// cycle trains a deterministic random subset of this size instead of
+  /// every selected member (0 = train all, the paper's setting). Group-
+  /// and buffer-triggered mechanisms reject a nonzero value — their
+  /// membership semantics are the mechanism, not a sampling choice.
+  std::size_t cohort_size = 0;
+
+  /// Storage backend of the simulation event queue. Pop order is
+  /// identical for both; the calendar queue is the faster choice at >=
+  /// 10^5 pending events (see bench/micro_eventq.cpp).
+  sim::QueueBackend event_queue = sim::QueueBackend::kBinaryHeap;
 
   // Heterogeneity and wireless substrate (§VI-A2)
   sim::ClusterModel::Config cluster;       ///< compute heterogeneity (kappa draw)
@@ -112,8 +142,9 @@ class Driver {
   /// The configuration this run was built from.
   [[nodiscard]] const FLConfig& config() const { return *cfg_; }
 
-  /// Number of federated workers (= partition size).
-  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  /// Number of federated workers (FLConfig::population, defaulting to the
+  /// partition size).
+  [[nodiscard]] std::size_t num_workers() const { return population_; }
 
   /// Flat parameter count of the model architecture.
   [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
@@ -121,11 +152,38 @@ class Driver {
   /// Resolved lane count (cfg.threads with 0 mapped to the hardware).
   [[nodiscard]] std::size_t training_lanes() const { return lanes_; }
 
-  /// All workers of the run (simulation-thread access only).
-  std::vector<Worker>& workers() { return workers_; }
+  /// Worker `i` (bounds-checked; simulation-thread access only). With
+  /// lazy worker state, only materialized workers are addressable: the
+  /// call throws std::logic_error for an unmaterialized id, which turns a
+  /// would-be silent misuse (touching state that does not exist) into an
+  /// immediate failure. Mechanisms only ever touch cohort members between
+  /// training and release, which are materialized by construction.
+  Worker& worker(std::size_t i);
 
-  /// Worker `i` (bounds-checked; simulation-thread access only).
-  Worker& worker(std::size_t i) { return workers_.at(i); }
+  /// Const counterpart of worker(i), same materialization contract.
+  [[nodiscard]] const Worker& worker(std::size_t i) const;
+
+  /// True when FLConfig::lazy_workers is on for this run.
+  [[nodiscard]] bool lazy_workers() const { return lazy_; }
+
+  /// Materialized Worker instances currently allocated (lazy mode: pool
+  /// slots, bounded by the pool target unless a single cohort exceeds it;
+  /// eager mode: the whole population).
+  [[nodiscard]] std::size_t worker_pool_size() const;
+
+  /// Slot count the lazy pool recycles down to (max of twice the lane
+  /// budget, twice the configured cohort size, and a small floor).
+  [[nodiscard]] std::size_t worker_pool_target() const { return pool_target_; }
+
+  /// True when worker `i` currently has materialized state (always true
+  /// in eager mode).
+  [[nodiscard]] bool worker_materialized(std::size_t i) const;
+
+  /// Returns cohort members' pool slots to the recycle list after an
+  /// aggregation consumed their local models (no-op in eager mode).
+  /// Released state stays bound — re-selecting the same worker before its
+  /// slot is recycled reuses it warm, with no RNG replay.
+  void release_workers(const std::vector<std::size_t>& members);
 
   /// The evaluation scratch model (simulation-thread access only).
   ml::Model& scratch() { return scratch_; }
@@ -221,10 +279,15 @@ class Driver {
   void release_scratch(std::unique_ptr<ml::Model> m);
   ml::EvalResult evaluate_sharded(std::span<const float> model, std::size_t n,
                                   std::size_t n_batches);
+  Worker& lease_worker(std::size_t i);
+  util::Rng worker_rng(std::size_t i) const;
+  const std::vector<double>& round_gains(std::size_t round);
 
   const FLConfig* cfg_;
-  std::vector<Worker> workers_;
-  ml::Model scratch_;               ///< evaluation scratch (simulation thread only)
+  std::size_t population_ = 0;
+  data::ShardIndex shards_;          ///< shared immutable views; workers hold spans
+  std::vector<Worker> workers_;      ///< eager mode: the whole population
+  ml::Model scratch_;                ///< evaluation scratch (simulation thread only)
   std::size_t model_dim_ = 0;
   data::DataStats stats_;
   sim::ClusterModel cluster_;
@@ -233,6 +296,27 @@ class Driver {
   channel::LatencyModel latency_;
   ml::Tensor eval_xs_;
   std::vector<int> eval_ys_;
+
+  // Per-round fading-gain cache: gains(round) is a pure function of
+  // (fading seed, round), so caching the latest round is digest-neutral
+  // and halves the O(population) Rayleigh draws per aggregation.
+  std::size_t gains_round_ = static_cast<std::size_t>(-1);
+  std::vector<double> gains_cache_;
+
+  // Lazy worker pool. Workers not currently selected exist only as
+  // descriptors: a bound_[] slot reference (npos when cold), a completed-
+  // update counter for RNG replay, and the shared shard views above.
+  // unique_ptr slots keep leased Worker addresses stable while the pool
+  // grows (async mechanisms hold leases across later cohort starts).
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  bool lazy_ = false;
+  std::size_t pool_target_ = 0;
+  std::vector<std::unique_ptr<Worker>> pool_slots_;
+  std::vector<char> slot_leased_;        ///< [slot] worker is in an active cohort
+  std::vector<std::size_t> slot_owner_;  ///< [slot] bound worker id
+  std::vector<std::size_t> bound_;       ///< [worker] slot or kNoSlot
+  std::vector<std::size_t> released_;    ///< FIFO of recyclable (bound, unleased) slots
+  std::vector<std::size_t> cycles_;      ///< [worker] completed local updates (RNG replay)
 
   // Execution engine state. One pre-allocated scratch model per lane,
   // leased to training tasks; `pending_[i]` is worker i's in-flight job.

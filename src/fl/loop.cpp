@@ -37,7 +37,15 @@ void Mechanism::reweight(const SchedulingLoop&, std::span<const float>, std::vec
 // ------------------------------------------------------------------ loop
 
 SchedulingLoop::SchedulingLoop(Driver& driver, Mechanism& policy)
-    : driver_(driver), policy_(policy), trigger_(policy.trigger()) {
+    : driver_(driver),
+      policy_(policy),
+      trigger_(policy.trigger()),
+      queue_(driver.config().event_queue) {
+  if (driver_.config().cohort_size != 0 &&
+      (trigger_ == TriggerKind::kGroupReady || trigger_ == TriggerKind::kReadyBuffer))
+    throw std::invalid_argument(policy_.name() +
+                                ": cohort_size sampling requires a round-barrier or "
+                                "timer-triggered mechanism");
   local_times_ = driver_.cluster().local_times();
   cohorts_ = policy_.make_cohorts(*this);
   if (cohorts_.empty()) throw std::logic_error(policy_.name() + ": make_cohorts returned none");
@@ -100,11 +108,28 @@ Metrics SchedulingLoop::run() {
   return std::move(metrics_);
 }
 
+std::vector<std::size_t> SchedulingLoop::sample_cohort(std::vector<std::size_t> members,
+                                                       std::size_t round,
+                                                       std::size_t cohort) const {
+  const std::size_t k = driver_.config().cohort_size;
+  if (k == 0 || members.size() <= k) return members;
+  // One self-contained stream per (round, cohort): reproducible from the
+  // config alone, uncorrelated with the weight/substrate streams.
+  util::Rng rng(util::splitmix64(driver_.config().seed ^
+                                 (0xC04052ULL + round * 0x9E3779B1ULL + cohort * 0x85EBCA77ULL)));
+  auto pos = rng.sample_without_replacement(members.size(), k);
+  std::sort(pos.begin(), pos.end());  // keep members in selection order
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (auto p : pos) picked.push_back(members[p]);
+  return picked;
+}
+
 void SchedulingLoop::start_sync_cycle() {
   const FLConfig& cfg = driver_.config();
   while (cycle_ < cfg.max_rounds) {
     ++cycle_;
-    auto members = policy_.select(*this, 0, cycle_);
+    auto members = sample_cohort(policy_.select(*this, 0, cycle_), cycle_, 0);
     if (members.empty()) continue;  // selection skip: next round, no time passes
     const double t_agg = policy_.aggregate_time(*this, 0, members, queue_.now());
     if (t_agg > cfg.time_budget) return;  // round would overrun: end of run
@@ -116,7 +141,9 @@ void SchedulingLoop::start_sync_cycle() {
 }
 
 void SchedulingLoop::start_timer_cycle(std::size_t cohort, double start) {
-  auto members = policy_.select(*this, cohort, server_->round() + 1);
+  auto members =
+      sample_cohort(policy_.select(*this, cohort, server_->round() + 1), server_->round() + 1,
+                    cohort);
   if (members.empty()) return;  // cohort retires: no further events for it
   const double t_agg = policy_.aggregate_time(*this, cohort, members, start);
   active_[cohort] = std::move(members);
@@ -202,6 +229,10 @@ bool SchedulingLoop::on_aggregate(const sim::Event& ev) {
   }
 
   driver_.maybe_record(metrics_, round, ev.time, energy_, tau, server_->global_model());
+  // The members' local models are consumed; hand their pool slots back for
+  // recycling (no-op for eager worker state). Restart paths below may
+  // re-lease the same workers warm.
+  driver_.release_workers(members);
   if (server_->round() >= cfg.max_rounds || driver_.should_stop(metrics_)) return false;
 
   // The cohort(s) just received w_t; their next local cycle starts now and

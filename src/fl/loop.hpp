@@ -139,6 +139,9 @@ class SchedulingLoop {
  public:
   /// Prepares the run state: local times, the policy's cohorts (validated
   /// non-empty), the cohort index, and the parameter server holding w_0.
+  /// The event queue is built on FLConfig::event_queue; a nonzero
+  /// FLConfig::cohort_size is rejected for group- and buffer-triggered
+  /// mechanisms (their membership is the mechanism, not a sampling knob).
   SchedulingLoop(Driver& driver, Mechanism& policy);
 
   /// Seeds the event queue for the policy's trigger kind, then drains it:
@@ -168,6 +171,13 @@ class SchedulingLoop {
   static constexpr int kEvAggregate = 1;  ///< an aggregation upload completes
 
   void seed_queue();
+  // Deterministic per-(round, cohort) subsampling down to
+  // FLConfig::cohort_size; identity when the knob is 0 or the selection is
+  // already small enough. The draw's RNG stream depends only on (seed,
+  // round, cohort), never on engine state, so it is thread- and
+  // backend-invariant.
+  std::vector<std::size_t> sample_cohort(std::vector<std::size_t> members, std::size_t round,
+                                         std::size_t cohort) const;
   void start_sync_cycle();
   void start_timer_cycle(std::size_t cohort, double start);
   void start_ready_cycle(std::size_t cohort, double start);

@@ -6,12 +6,39 @@
 
 namespace airfedga::fl {
 
+namespace {
+void check_shard(std::span<const std::size_t> shard, const data::Dataset& train) {
+  if (shard.empty()) throw std::invalid_argument("Worker: empty data shard");
+  for (auto idx : shard)
+    if (idx >= train.size()) throw std::invalid_argument("Worker: shard index out of range");
+}
+}  // namespace
+
+Worker::Worker(std::size_t id, const data::Dataset& train, std::span<const std::size_t> shard,
+               util::Rng rng)
+    : id_(id), train_(&train), shard_(shard), rng_(rng) {
+  check_shard(shard_, train);
+}
+
 Worker::Worker(std::size_t id, const data::Dataset& train, std::vector<std::size_t> shard,
                util::Rng rng)
-    : id_(id), train_(&train), shard_(std::move(shard)), rng_(rng) {
-  if (shard_.empty()) throw std::invalid_argument("Worker: empty data shard");
-  for (auto idx : shard_)
-    if (idx >= train.size()) throw std::invalid_argument("Worker: shard index out of range");
+    : id_(id), train_(&train), owned_shard_(std::move(shard)), shard_(owned_shard_), rng_(rng) {
+  check_shard(shard_, train);
+}
+
+void Worker::rebind(std::size_t id, std::span<const std::size_t> shard, util::Rng rng) {
+  check_shard(shard, *train_);
+  id_ = id;
+  owned_shard_.clear();
+  shard_ = shard;
+  rng_ = rng;
+  local_model_.clear();
+}
+
+void Worker::replay_rng(std::size_t draws, std::size_t batch_size) {
+  if (batch_size == 0 || batch_size >= shard_.size()) return;  // sampling consumed no randomness
+  for (std::size_t i = 0; i < draws; ++i)
+    rng_.sample_without_replacement(shard_.size(), batch_size, pick_);
 }
 
 std::span<const std::size_t> Worker::sample_batch(std::size_t batch_size) {

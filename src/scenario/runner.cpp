@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -298,6 +299,18 @@ Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
   return rec;
 }
 
+namespace {
+
+/// Points stems handed out per output directory over the whole process.
+/// The per-call counter in write_results restarts at every invocation, so
+/// without this registry a second --append call would re-derive the same
+/// "_2" suffixes and clobber the first call's series even when the files
+/// are gone from disk (deleted, or buffered but not yet visible).
+std::mutex g_stems_mutex;
+std::unordered_map<std::string, std::unordered_set<std::string>> g_claimed_stems;
+
+}  // namespace
+
 void write_results(const std::string& out_dir, const std::vector<ScenarioResult>& results,
                    const std::string& git, const WriteOptions& opts) {
   namespace fs = std::filesystem;
@@ -327,22 +340,34 @@ void write_results(const std::string& out_dir, const std::vector<ScenarioResult>
   // order and suffix repeats, so every run keeps its own series file.
   std::unordered_map<std::string, std::size_t> stem_uses;
 
+  // Key the session registry by the physical directory, so "./out" and
+  // "out" share one claim set.
+  const fs::path canon = fs::weakly_canonical(fs::path(out_dir), ec);
+  const std::string dir_key = (ec || canon.empty()) ? out_dir : canon.string();
+  std::scoped_lock stems_lock(g_stems_mutex);
+  auto& claimed = g_claimed_stems[dir_key];
+  // Fresh mode wiped points/ above; stems from earlier invocations are free
+  // again.
+  if (!opts.append) claimed.clear();
+
   for (const auto& scenario : results) {
     for (const auto& run : scenario.runs) {
       const std::string base = sanitize(scenario.spec.name) + "_" + sanitize(run.mechanism) +
                                "_t" + std::to_string(scenario.spec.threads);
       std::size_t uses = ++stem_uses[base];
       std::string stem = uses > 1 ? base + "_" + std::to_string(uses) : base;
-      if (opts.append) {
-        // Cross-invocation collisions: an earlier --append session may
-        // already own this stem (the counter above only sees this call).
-        // Keep bumping the deterministic suffix past the files on disk so
-        // appended runs never clobber an existing points series.
-        while (fs::exists(fs::path(out_dir) / "points" / (stem + ".csv"))) {
-          uses = ++stem_uses[base];
-          stem = base + "_" + std::to_string(uses);
-        }
+      // Cross-invocation collisions: an earlier --append call in this
+      // session (registry) or an earlier process (files on disk) may
+      // already own this stem — the counter above only sees this call.
+      // Keep bumping the deterministic suffix so appended runs never
+      // clobber an existing points series, even one deleted from disk
+      // after being claimed.
+      while (claimed.count(stem) != 0 ||
+             (opts.append && fs::exists(fs::path(out_dir) / "points" / (stem + ".csv")))) {
+        uses = ++stem_uses[base];
+        stem = base + "_" + std::to_string(uses);
       }
+      claimed.insert(stem);
       // Recorded relative to out_dir, so result directories are relocatable
       // and the JSONL is byte-identical wherever --out points.
       const std::string points_csv = "points/" + stem + ".csv";

@@ -214,6 +214,7 @@ Json ScenarioSpec::to_json() const {
   Json pa = Json::object();
   pa.set("kind", partition.kind);
   pa.set("workers", partition.workers);
+  pa.set("shards", partition.shards);
   if (partition.kind == "dirichlet") pa.set("alpha", partition.alpha);
   j.set("partition", std::move(pa));
 
@@ -260,6 +261,9 @@ Json ScenarioSpec::to_json() const {
   ru.set("seed", seed);
   ru.set("threads", threads);
   ru.set("cooperative_gemm", cooperative_gemm);
+  ru.set("worker_state", worker_state);
+  ru.set("event_queue", event_queue);
+  ru.set("cohort_size", cohort_size);
   j.set("run", std::move(ru));
 
   Json mechs = Json::array();
@@ -322,6 +326,7 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     Reader p = sub(r, "partition");
     p.str("kind", s.partition.kind);
     p.count("workers", s.partition.workers);
+    p.count("shards", s.partition.shards);
     p.number("alpha", s.partition.alpha);
     p.finish();
   }
@@ -380,6 +385,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     u.u64("seed", s.seed);
     u.count("threads", s.threads);
     u.boolean("cooperative_gemm", s.cooperative_gemm);
+    u.str("worker_state", s.worker_state);
+    u.str("event_queue", s.event_queue);
+    u.count("cohort_size", s.cohort_size);
     u.finish();
   }
 
@@ -471,8 +479,16 @@ void ScenarioSpec::validate() const {
     bad("partition.kind: unknown kind \"" + partition.kind + "\" (one of: " +
         join(kPartitionKinds) + ")");
   if (partition.workers == 0) bad("partition.workers: must be >= 1");
-  if (partition.workers > dataset.train_samples)
+  if (partition.shards == 0 && partition.workers > dataset.train_samples)
     bad("partition.workers: " + std::to_string(partition.workers) + " workers need at least as "
+        "many training samples (dataset.train_samples = " +
+        std::to_string(dataset.train_samples) + "); set partition.shards to scale the "
+        "population past the sample count");
+  if (partition.shards > partition.workers)
+    bad("partition.shards: " + std::to_string(partition.shards) +
+        " must be <= partition.workers (" + std::to_string(partition.workers) + ")");
+  if (partition.shards > dataset.train_samples)
+    bad("partition.shards: " + std::to_string(partition.shards) + " shards need at least as "
         "many training samples (dataset.train_samples = " +
         std::to_string(dataset.train_samples) + ")");
   if (partition.kind == "dirichlet" && partition.alpha <= 0.0)
@@ -507,6 +523,15 @@ void ScenarioSpec::validate() const {
   if (eval_samples == 0) bad("run.eval_samples: must be >= 1");
   if (eval_batch == 0) bad("run.eval_batch: must be >= 1");
   if (stop_at_accuracy > 1.0) bad("run.stop_at_accuracy: must be <= 1 (a fraction, not percent)");
+  if (worker_state != "eager" && worker_state != "lazy")
+    bad("run.worker_state: must be \"eager\" or \"lazy\", got \"" + worker_state + "\"");
+  if (event_queue != "heap" && event_queue != "calendar")
+    bad("run.event_queue: must be \"heap\" or \"calendar\", got \"" + event_queue + "\"");
+  if (cohort_size != 0)
+    for (const auto& m : mechanisms)
+      if (m.kind == "airfedga" || m.kind == "semiasync")
+        bad("run.cohort_size: cohort sampling is incompatible with mechanism kind \"" + m.kind +
+            "\" (group/buffer-triggered membership is the mechanism itself)");
 
   if (mechanisms.empty())
     bad("mechanisms: at least one mechanism is required (one of: " + join(kMechanismKinds) + ")");
@@ -618,7 +643,12 @@ BuiltScenario build(const ScenarioSpec& spec) {
   cfg.train = &out.data->train;
   cfg.test = &out.data->test;
   util::Rng rng(spec.seed);
-  cfg.partition = make_partition(spec.partition, out.data->train, rng);
+  // With shards set, the partitioner splits into that many shards and the
+  // worker count becomes the (possibly much larger) population axis.
+  PartitionSpec pspec = spec.partition;
+  if (spec.partition.shards > 0) pspec.workers = spec.partition.shards;
+  cfg.partition = make_partition(pspec, out.data->train, rng);
+  if (spec.partition.shards > 0) cfg.population = spec.partition.workers;
   cfg.model_factory = make_model_factory(spec.model);
 
   cfg.learning_rate = static_cast<float>(spec.learning_rate);
@@ -644,6 +674,10 @@ BuiltScenario build(const ScenarioSpec& spec) {
   cfg.seed = spec.seed;
   cfg.threads = spec.threads;
   cfg.cooperative_gemm = spec.cooperative_gemm;
+  cfg.lazy_workers = spec.worker_state == "lazy";
+  cfg.event_queue =
+      spec.event_queue == "calendar" ? sim::QueueBackend::kCalendar : sim::QueueBackend::kBinaryHeap;
+  cfg.cohort_size = spec.cohort_size;
   cfg.validate();
 
   for (const auto& m : spec.mechanisms) {

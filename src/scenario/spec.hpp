@@ -40,6 +40,12 @@ struct PartitionSpec {
   std::string kind = "label_skew";  ///< label_skew | iid | dirichlet
   std::size_t workers = 100;
   double alpha = 0.3;  ///< dirichlet concentration (dirichlet only)
+  /// Number of distinct data shards. 0 (default) = one shard per worker,
+  /// the legacy layout. A nonzero value partitions the training set into
+  /// this many shards and maps worker i onto shard i % shards, so
+  /// `workers` becomes a free population axis (10^5-10^6 workers over a
+  /// bounded shard set). Must be <= workers.
+  std::size_t shards = 0;
 };
 
 /// One mechanism to run, with its tuning knobs. Knobs irrelevant to a kind
@@ -114,6 +120,9 @@ struct ScenarioSpec {
   std::uint64_t seed = 42;
   std::size_t threads = 0;       ///< training lanes (0 = hardware concurrency)
   bool cooperative_gemm = true;  ///< idle lanes donate themselves to large GEMMs
+  std::string worker_state = "eager";  ///< "eager" | "lazy" (pooled, for huge populations)
+  std::string event_queue = "heap";    ///< "heap" | "calendar" event-queue backend
+  std::size_t cohort_size = 0;  ///< per-round training-cohort subsample (0 = all selected)
 
   std::vector<MechanismSpec> mechanisms;
 

@@ -253,6 +253,47 @@ TEST(Runner, AppendAcrossInvocationsKeepsEarlierPointsSeries) {
   EXPECT_TRUE(fs::exists(tmp.path / p3));
 }
 
+TEST(Runner, AppendStemClaimsAreSessionWideNotJustOnDisk) {
+  // Regression: the append-mode collision probe used to be a pure disk
+  // check, so a points file deleted between two --append invocations let
+  // its stem be reissued — the first session's results.jsonl row then
+  // pointed at a second session's series. Stems handed out in this process
+  // stay claimed per output directory even when the file is gone.
+  TempDir tmp;
+  const ScenarioResult r = run_scenario(tiny_spec());
+  WriteOptions app;
+  app.append = true;
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  ASSERT_TRUE(fs::exists(tmp.path / "points" / "tiny_Air-FedGA_t1.csv"));
+  fs::remove(tmp.path / "points" / "tiny_Air-FedGA_t1.csv");
+
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  // The second session takes the next suffix; the deleted stem is not
+  // resurrected with foreign data under the first row's points_csv path.
+  EXPECT_FALSE(fs::exists(tmp.path / "points" / "tiny_Air-FedGA_t1.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path / "points" / "tiny_Air-FedGA_t1_2.csv"));
+}
+
+TEST(Runner, FreshWriteReleasesSessionStemClaims) {
+  // Fresh (non-append) mode wipes points/ and must also forget this
+  // session's stem claims for the directory, or every rewrite would creep
+  // further down the suffix chain.
+  TempDir tmp;
+  const ScenarioResult r = run_scenario(tiny_spec());
+  WriteOptions app;
+  app.append = true;
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  write_results(tmp.path.string(), {r}, "v-test", app);
+  ASSERT_TRUE(fs::exists(tmp.path / "points" / "tiny_Air-FedGA_t1_2.csv"));
+
+  write_results(tmp.path.string(), {r}, "v-test");
+  std::vector<std::string> stems;
+  for (const auto& e : fs::directory_iterator(tmp.path / "points"))
+    stems.push_back(e.path().filename().string());
+  ASSERT_EQ(stems.size(), 1u);
+  EXPECT_EQ(stems[0], "tiny_Air-FedGA_t1.csv");
+}
+
 TEST(Runner, WriteResultsWithoutTimingOmitsWallClockFields) {
   TempDir tmp;
   const ScenarioResult r = run_scenario(tiny_spec());

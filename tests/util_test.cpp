@@ -428,5 +428,22 @@ TEST(LaneBudgetShare, SplitsBudgetAcrossJobs) {
   EXPECT_EQ(lane_budget_share(1, 4, 0), 1u);
 }
 
+TEST(LaneBudgetShare, ClampingAndDegenerateBudgets) {
+  // Request exactly the share: no clamping either way.
+  EXPECT_EQ(lane_budget_share(8, 1, 8), 8u);
+  EXPECT_EQ(lane_budget_share(4, 2, 8), 4u);
+  // Request above the share clamps to the share; far above too.
+  EXPECT_EQ(lane_budget_share(5, 3, 8), 2u);
+  EXPECT_EQ(lane_budget_share(1000000, 1, 8), 8u);
+  // Exact division down to one lane per job, and past it.
+  EXPECT_EQ(lane_budget_share(0, 8, 8), 1u);
+  EXPECT_EQ(lane_budget_share(0, 9, 8), 1u);
+  // A single-lane budget serializes every request.
+  EXPECT_EQ(lane_budget_share(0, 1, 1), 1u);
+  EXPECT_EQ(lane_budget_share(3, 2, 1), 1u);
+  // jobs = 0 degenerates to one job even with clamping in play.
+  EXPECT_EQ(lane_budget_share(3, 0, 8), 3u);
+}
+
 }  // namespace
 }  // namespace airfedga::util

@@ -15,7 +15,7 @@ data::Dataset tiny_dataset(std::uint64_t seed) {
 
 TEST(Worker, ConstructionValidatesShard) {
   const auto ds = tiny_dataset(1);
-  EXPECT_THROW(Worker(0, ds, {}, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Worker(0, ds, std::vector<std::size_t>{}, util::Rng(1)), std::invalid_argument);
   EXPECT_THROW(Worker(0, ds, {ds.size()}, util::Rng(1)), std::invalid_argument);
   Worker w(3, ds, {0, 1, 2}, util::Rng(1));
   EXPECT_EQ(w.id(), 3u);
