@@ -11,6 +11,7 @@
 // runs on a 2-core CPU box; the scaling is documented per bench and in
 // docs/BENCHMARKS.md.
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -118,6 +119,29 @@ inline void print_digests(const std::vector<std::string>& names,
   std::printf("\n--- metrics digests (cross-check: airfedga_cli run <preset>) ---\n");
   for (std::size_t i = 0; i < runs.size(); ++i)
     std::printf("%-12s %s\n", names[i].c_str(), runs[i].digest().c_str());
+}
+
+/// Prints the one-line engine summary every figure bench shares: the
+/// EngineStats wall clocks plus the observability counters (lane-pool
+/// activity, warm/cold worker reuse) from the run's metrics snapshot —
+/// the same values `airfedga_cli` serializes into results.jsonl.
+inline void print_engine_summary(const std::vector<std::string>& names,
+                                 const std::vector<fl::Metrics>& runs) {
+  std::printf("\n--- engine summary (wall-clock; run-to-run variable) ---\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const fl::EngineStats& es = runs[i].engine_stats();
+    std::uint64_t tasks = 0, warm = 0, cold = 0;
+    for (const auto& [name, value] : runs[i].obs_snapshot().counters) {
+      if (name == "pool.tasks") tasks = value;
+      if (name == "pool.warm_hits") warm = value;
+      if (name == "pool.cold_replays") cold = value;
+    }
+    std::printf("%-12s barriers=%zu barrier_s=%.2f evals=%zu eval_s=%.2f coop_gemms=%zu "
+                "helper_tiles=%zu pool_tasks=%llu warm_hits=%llu cold_replays=%llu\n",
+                names[i].c_str(), es.barriers, es.barrier_seconds, es.evals, es.eval_seconds,
+                es.coop_gemms, es.coop_helper_tiles, static_cast<unsigned long long>(tasks),
+                static_cast<unsigned long long>(warm), static_cast<unsigned long long>(cold));
+  }
 }
 
 /// Canonical experiment configuration builder.

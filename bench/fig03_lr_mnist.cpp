@@ -27,5 +27,6 @@ int main(int argc, char** argv) {
   bench::print_time_to_accuracy(names, runs, {0.80, 0.85, 0.90});
   bench::dump_csv("fig03", names, runs);
   bench::print_digests(names, runs);
+  bench::print_engine_summary(names, runs);
   return 0;
 }

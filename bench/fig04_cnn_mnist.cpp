@@ -30,5 +30,6 @@ int main(int argc, char** argv) {
   bench::print_time_to_accuracy(names, runs, {0.40, 0.50, 0.60});
   bench::dump_csv("fig04", names, runs);
   bench::print_digests(names, runs);
+  bench::print_engine_summary(names, runs);
   return 0;
 }

@@ -28,5 +28,6 @@ int main(int argc, char** argv) {
   bench::print_time_to_accuracy(names, runs, {0.20, 0.25, 0.30});
   bench::dump_csv("fig05", names, runs);
   bench::print_digests(names, runs);
+  bench::print_engine_summary(names, runs);
   return 0;
 }

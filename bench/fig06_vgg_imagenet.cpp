@@ -34,5 +34,6 @@ int main(int argc, char** argv) {
   bench::print_time_to_accuracy(names, runs, {0.08, 0.12, 0.16});
   bench::dump_csv("fig06", names, runs);
   bench::print_digests(names, runs);
+  bench::print_engine_summary(names, runs);
   return 0;
 }

@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   if (auto ec = flags.parse(argc, argv)) return *ec;
 
   util::Table t({"xi", "groups", "t@80%(s)", "t@85%(s)", "t@90%(s)", "mean EMD"});
+  std::vector<std::string> run_names;
+  std::vector<fl::Metrics> runs;
 
   for (int xi10 = 0; xi10 <= 10; ++xi10) {
     const double xi = xi10 / 10.0;
@@ -41,10 +43,13 @@ int main(int argc, char** argv) {
     t.add_row({util::Table::fmt(xi, 1),
                util::Table::fmt_int(static_cast<long long>(ga->groups().size())), cell(0.80),
                cell(0.85), cell(0.90), util::Table::fmt(stats.mean_emd(ga->groups()), 3)});
+    run_names.push_back("xi=" + util::Table::fmt(xi, 1));
+    runs.push_back(res);
   }
 
   std::printf("=== Fig. 8: training time vs xi (Air-FedGA, MLP-64 on MNIST-like) ===\n");
   t.print(std::cout);
+  bench::print_engine_summary(run_names, runs);
   t.write_csv(bench::results_dir() + "/fig08_xi_sweep.csv");
   return 0;
 }

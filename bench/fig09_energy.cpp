@@ -46,6 +46,7 @@ void panel(const char* title, const std::string& preset_name,
   t.print(std::cout);
   t.write_csv(bench::results_dir() + "/" + stem + ".csv");
   bench::print_digests(names, runs);
+  bench::print_engine_summary(names, runs);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/json.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
@@ -55,7 +56,36 @@ struct WorkloadResult {
   double schedule_ops_per_s = 0;  ///< bulk schedules (drain) or 0 (hold)
   double pop_ops_per_s = 0;       ///< bulk pops (drain) or pop+schedule pairs (hold)
   std::vector<PopRec> trace;
+  /// Pending-depth distribution observed at each pop (same shape as the
+  /// scheduling loop's `eventq.pending` histogram in results.jsonl).
+  obs::MetricsSnapshot::HistogramData pending;
 };
+
+/// Bucket bounds for the pending-depth histogram: power-of-4 steps up to
+/// 1M pending events (the population scale-out target), overflow above.
+std::vector<double> pending_bounds() {
+  std::vector<double> b;
+  for (double x = 1.0; x <= (1u << 20); x *= 4.0) b.push_back(x);
+  return b;
+}
+
+obs::MetricsSnapshot::HistogramData snapshot_histogram(const char* name,
+                                                       const obs::Histogram& h) {
+  return {name, h.bounds(), h.counts(), h.count(), h.sum()};
+}
+
+scenario::Json histogram_json(const obs::MetricsSnapshot::HistogramData& h) {
+  scenario::Json bounds = scenario::Json::array();
+  for (double b : h.bounds) bounds.push_back(scenario::Json(b));
+  scenario::Json counts = scenario::Json::array();
+  for (std::uint64_t c : h.counts) counts.push_back(scenario::Json(c));
+  scenario::Json j = scenario::Json::object();
+  j.set("bounds", std::move(bounds));
+  j.set("counts", std::move(counts));
+  j.set("count", h.count);
+  j.set("sum", h.sum);
+  return j;
+}
 
 /// Quantizes `x` onto a grid of `cell` so distinct draws collide into
 /// timestamp ties (seq must break them; the identity check covers it).
@@ -84,6 +114,13 @@ WorkloadResult run_drain(sim::QueueBackend be, std::size_t n, std::uint64_t seed
     r.trace.push_back({e.time, e.seq, e.kind, e.actor});
   }
   r.pop_ops_per_s = static_cast<double>(n) / (now_seconds() - t0);
+
+  // Pending depth after the i-th pop of a pure drain is exactly n-1-i, so
+  // the histogram fills outside the timed loop — the measured pops stay
+  // unperturbed and the distribution is still the one a sampler would see.
+  obs::Histogram depth(pending_bounds());
+  for (std::size_t i = 0; i < n; ++i) depth.record(static_cast<double>(n - 1 - i));
+  r.pending = snapshot_histogram("eventq.pending", depth);
   return r;
 }
 
@@ -115,6 +152,12 @@ WorkloadResult run_hold(sim::QueueBackend be, std::size_t n, std::size_t ops,
     q.schedule(e.time + inc[k], e.kind, e.actor);
   }
   r.pop_ops_per_s = static_cast<double>(ops) / (now_seconds() - t0);
+
+  // Hold keeps the population constant: every pop observes n-1 pending
+  // (the successor is scheduled right after), so fill outside the timing.
+  obs::Histogram depth(pending_bounds());
+  for (std::size_t k = 0; k < ops; ++k) depth.record(static_cast<double>(n - 1));
+  r.pending = snapshot_histogram("eventq.pending", depth);
   return r;
 }
 
@@ -194,6 +237,7 @@ int main(int argc, char** argv) {
           rec.set("schedule_ops_per_s", res[b].schedule_ops_per_s);
         rec.set("pop_ops_per_s", res[b].pop_ops_per_s);
         rec.set("identical", scenario::Json(ok));
+        rec.set("pending_depth", histogram_json(res[b].pending));
         records.push_back(std::move(rec));
       }
     }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace airfedga::fl {
@@ -66,6 +67,12 @@ Driver::Driver(const FLConfig& cfg)
       }()),
       latency_(cfg.latency) {
   cfg.validate();
+  if (cfg.trace) obs::enable();
+  // The constructing thread runs the simulation (event loop, aggregation);
+  // label its trace track. TLS-only, so it is free on untraced runs.
+  obs::name_this_thread("sim");
+  warm_hits_ = &registry_.counter("pool.warm_hits");
+  cold_replays_ = &registry_.counter("pool.cold_replays");
   model_dim_ = scratch_.num_parameters();
   lazy_ = cfg.lazy_workers;
 
@@ -182,6 +189,7 @@ Worker& Driver::lease_worker(std::size_t i) {
       released_.erase(it);
       slot_leased_[slot] = 1;
     }
+    warm_hits_->add();
     return *pool_slots_[slot];
   }
   if (pool_slots_.size() >= pool_target_ && !released_.empty()) {
@@ -207,6 +215,7 @@ Worker& Driver::lease_worker(std::size_t i) {
   // Reconstruct the exact RNG engine state of the eager layout: each of
   // the worker's completed local updates consumed local_steps batch draws.
   pool_slots_[slot]->replay_rng(cycles_[i] * cfg_->local_steps, cfg_->batch_size);
+  cold_replays_->add();
   slot_owner_[slot] = i;
   slot_leased_[slot] = 1;
   bound_[i] = slot;
@@ -267,6 +276,7 @@ void Driver::begin_training(const std::vector<std::size_t>& members,
       // have no training job (fewer runnable groups than lanes). Helpers
       // compute fixed disjoint output tiles, so this too is a wall-time
       // choice that cannot change bits.
+      obs::Span span("worker", "worker.local_update");
       ScratchLease lease(*this);
       std::optional<util::ThreadPool::CooperationScope> coop;
       if (cfg_->cooperative_gemm && lanes_ > 1) coop.emplace(*pool_);
@@ -276,6 +286,7 @@ void Driver::begin_training(const std::vector<std::size_t>& members,
 }
 
 void Driver::finish_training(const std::vector<std::size_t>& members) {
+  obs::Span span("driver", "driver.barrier");
   const auto t0 = std::chrono::steady_clock::now();
   for (auto m : members) {
     auto& f = pending_.at(m);
@@ -299,6 +310,7 @@ std::vector<float> Driver::initial_model() {
 }
 
 ml::EvalResult Driver::evaluate(std::span<const float> model) {
+  obs::Span span("driver", "driver.eval");
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n = eval_ys_.size();
   const std::size_t batch = std::max<std::size_t>(1, cfg_->eval_batch);
@@ -419,6 +431,16 @@ EngineStats Driver::engine_stats() const {
   s.coop_gemms = coop.regions;
   s.coop_helper_tiles = coop.helper_tiles;
   return s;
+}
+
+obs::MetricsSnapshot Driver::metrics_snapshot() {
+  const auto coop = pool_->coop_counters();
+  registry_.counter("pool.lanes").set(lanes_);
+  registry_.counter("pool.tasks").set(pool_->tasks_run());
+  registry_.counter("pool.busy_ns").set(pool_->busy_ns());
+  registry_.counter("gemm.coop_regions").set(coop.regions);
+  registry_.counter("gemm.coop_helper_tiles").set(coop.helper_tiles);
+  return registry_.snapshot();
 }
 
 core::PowerControlResult Driver::power_for_group(const std::vector<std::size_t>& members,

@@ -17,6 +17,7 @@
 #include "fl/metrics.hpp"
 #include "fl/worker.hpp"
 #include "ml/model.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
 #include "util/thread_pool.hpp"
@@ -103,6 +104,12 @@ struct FLConfig {
   /// training). Tile-to-output mapping is fixed, so cooperation changes
   /// wall time only — results stay bit-identical for every lane count.
   bool cooperative_gemm = true;
+
+  /// Turns on the observability layer for this run: trace spans/instants
+  /// into the per-thread ring buffers (obs::enable(), process-wide and
+  /// sticky) plus wall-time metric collection. Observability is read-only
+  /// — digests are bit-identical with tracing on or off.
+  bool trace = false;
 
   /// Throws std::invalid_argument on an unusable configuration.
   void validate() const;
@@ -247,6 +254,16 @@ class Driver {
   /// pool's counters). Mechanisms copy this into their Metrics on return.
   [[nodiscard]] EngineStats engine_stats() const;
 
+  /// This run's metric registry (counters/histograms the scheduling loop
+  /// and mechanisms record into). One per Driver so snapshots attribute to
+  /// a single mechanism execution.
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
+  /// Folds the lane pool's counters into the registry and returns a
+  /// point-in-time copy of every metric — what the scheduling loop attaches
+  /// to its Metrics at the end of a run.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+
   /// Per-round power control (Alg. 2) for a group about to aggregate:
   /// gathers this round's gains and member model-norm bound W_t, and
   /// returns (sigma*, eta*, C).
@@ -325,6 +342,9 @@ class Driver {
   std::vector<std::unique_ptr<ml::Model>> scratch_free_;
   std::vector<std::future<void>> pending_;
   EngineStats engine_stats_;
+  obs::Registry registry_;
+  obs::Counter* warm_hits_ = nullptr;     ///< cached &registry_["pool.warm_hits"]
+  obs::Counter* cold_replays_ = nullptr;  ///< cached &registry_["pool.cold_replays"]
   // Destroyed first (declared last): joining the pool drains outstanding
   // tasks before any state they reference goes away.
   std::unique_ptr<util::ThreadPool> pool_;

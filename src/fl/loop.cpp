@@ -4,7 +4,21 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace airfedga::fl {
+
+namespace {
+const char* trigger_slug(TriggerKind t) {
+  switch (t) {
+    case TriggerKind::kRoundBarrier: return "round_barrier";
+    case TriggerKind::kCohortTimer: return "cohort_timer";
+    case TriggerKind::kGroupReady: return "group_ready";
+    case TriggerKind::kReadyBuffer: return "ready_buffer";
+    default: return "unknown";
+  }
+}
+}  // namespace
 
 // ---------------------------------------------------------------- policy
 
@@ -56,6 +70,13 @@ SchedulingLoop::SchedulingLoop(Driver& driver, Mechanism& policy)
     for (auto m : cohorts_[j]) cohort_of_[m] = j;
   server_.emplace(driver_.initial_model(), cohorts_.size());
   active_.resize(cohorts_.size());
+
+  // Both histograms hold virtual-time quantities, so their contents are a
+  // pure function of the scenario (threads/backends never change them).
+  pending_hist_ = &driver_.registry().histogram(
+      "eventq.pending", {0, 1, 2, 4, 8, 16, 32, 64, 128, 512, 2048, 8192, 32768});
+  latency_hist_ = &driver_.registry().histogram(
+      std::string("latency.") + trigger_slug(trigger_), {1, 2, 4, 8, 16, 32, 64, 128, 256});
 }
 
 void SchedulingLoop::seed_queue() {
@@ -97,6 +118,7 @@ Metrics SchedulingLoop::run() {
     // loop stopped.
     if (queue_.peek_time() > cfg.time_budget) break;
     const auto ev = queue_.pop();
+    pending_hist_->record(static_cast<double>(queue_.size()));
     if (ev.kind == kEvReady) {
       on_ready(ev);
     } else if (!on_aggregate(ev)) {
@@ -105,6 +127,7 @@ Metrics SchedulingLoop::run() {
   }
   metrics_.set_final_model(server_->model_vector());
   metrics_.set_engine_stats(driver_.engine_stats());
+  metrics_.set_obs_snapshot(driver_.metrics_snapshot());
   return std::move(metrics_);
 }
 
@@ -133,6 +156,7 @@ void SchedulingLoop::start_sync_cycle() {
     if (members.empty()) continue;  // selection skip: next round, no time passes
     const double t_agg = policy_.aggregate_time(*this, 0, members, queue_.now());
     if (t_agg > cfg.time_budget) return;  // round would overrun: end of run
+    latency_hist_->record(t_agg - queue_.now());
     active_[0] = std::move(members);
     driver_.begin_training(active_[0], server_->global_model(), t_agg);
     queue_.schedule(t_agg, kEvAggregate, 0);
@@ -146,6 +170,7 @@ void SchedulingLoop::start_timer_cycle(std::size_t cohort, double start) {
                     cohort);
   if (members.empty()) return;  // cohort retires: no further events for it
   const double t_agg = policy_.aggregate_time(*this, cohort, members, start);
+  latency_hist_->record(t_agg - start);
   active_[cohort] = std::move(members);
   driver_.begin_training(active_[cohort], server_->global_model(), t_agg);
   queue_.schedule(t_agg, kEvAggregate, cohort);
@@ -153,8 +178,9 @@ void SchedulingLoop::start_timer_cycle(std::size_t cohort, double start) {
 
 void SchedulingLoop::start_ready_cycle(std::size_t cohort, double start) {
   active_[cohort] = cohorts_[cohort];
-  driver_.begin_training(cohorts_[cohort], server_->global_model(),
-                         policy_.aggregate_time(*this, cohort, cohorts_[cohort], start));
+  const double t_agg = policy_.aggregate_time(*this, cohort, cohorts_[cohort], start);
+  latency_hist_->record(t_agg - start);
+  driver_.begin_training(cohorts_[cohort], server_->global_model(), t_agg);
   for (auto m : cohorts_[cohort]) queue_.schedule(start + local_times_[m], kEvReady, m);
 }
 
@@ -165,8 +191,9 @@ void SchedulingLoop::start_buffer_cycle(const std::vector<std::size_t>& members,
     // The flush time is unknowable here (it depends on the rest of the
     // buffer), so the deadline tag is the earliest it could be: the
     // worker's own READY plus one upload.
-    driver_.begin_training(solo, server_->global_model(),
-                           t_ready + policy_.upload_seconds(*this, solo));
+    const double deadline = t_ready + policy_.upload_seconds(*this, solo);
+    latency_hist_->record(deadline - start);
+    driver_.begin_training(solo, server_->global_model(), deadline);
     queue_.schedule(t_ready, kEvReady, m);
   }
 }
@@ -192,6 +219,7 @@ void SchedulingLoop::on_ready(const sim::Event& ev) {
 }
 
 bool SchedulingLoop::on_aggregate(const sim::Event& ev) {
+  obs::Span span("loop", "loop.aggregate");
   const FLConfig& cfg = driver_.config();
   const bool buffered = trigger_ == TriggerKind::kReadyBuffer;
   const std::vector<std::size_t> members =

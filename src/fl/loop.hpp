@@ -204,6 +204,11 @@ class SchedulingLoop {
   /// kReadyBuffer: flushed buffers by in-flight aggregation event actor.
   std::vector<std::vector<std::size_t>> flights_;
   double energy_ = 0.0;
+  /// Observability instruments, resolved once from the driver's registry
+  /// (updates are then lock-free). Both record *virtual*-time quantities,
+  /// so their contents are deterministic for a given scenario.
+  obs::Histogram* pending_hist_ = nullptr;  ///< eventq.pending depth at each pop
+  obs::Histogram* latency_hist_ = nullptr;  ///< per-TriggerKind aggregation latency
 };
 
 }  // namespace airfedga::fl

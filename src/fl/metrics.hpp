@@ -2,7 +2,10 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace airfedga::fl {
 
@@ -89,10 +92,17 @@ class Metrics {
   [[nodiscard]] const EngineStats& engine_stats() const { return engine_stats_; }
   void set_engine_stats(const EngineStats& stats) { engine_stats_ = stats; }
 
+  /// Observability counters/histograms of the run (docs/OBSERVABILITY.md).
+  /// Like EngineStats, excluded from `bit_identical`/`digest`: some values
+  /// are wall-clock- or lane-count-dependent.
+  [[nodiscard]] const obs::MetricsSnapshot& obs_snapshot() const { return obs_snapshot_; }
+  void set_obs_snapshot(obs::MetricsSnapshot snap) { obs_snapshot_ = std::move(snap); }
+
  private:
   std::vector<MetricPoint> points_;
   std::vector<float> final_model_;
   EngineStats engine_stats_;
+  obs::MetricsSnapshot obs_snapshot_;
 };
 
 }  // namespace airfedga::fl

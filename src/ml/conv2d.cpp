@@ -6,6 +6,7 @@
 
 #include "ml/gemm.hpp"
 #include "ml/workspace.hpp"
+#include "obs/trace.hpp"
 
 namespace airfedga::ml {
 
@@ -100,6 +101,7 @@ void Conv2D::col2im_batched(const float* cols, std::size_t s0, std::size_t s1,
 }
 
 const Tensor& Conv2D::forward(const Tensor& x) {
+  obs::Span span("conv", "conv.forward");
   if (x.rank() != 4 || x.dim(1) != cin_)
     throw std::invalid_argument("Conv2D::forward: bad input shape " + x.shape_string());
   if (training_) input_cache_ = x;
@@ -148,6 +150,7 @@ const Tensor& Conv2D::forward(const Tensor& x) {
 }
 
 const Tensor& Conv2D::backward(const Tensor& grad_out) {
+  obs::Span span("conv", "conv.backward");
   if (!training_ || input_cache_.size() == 0)
     throw std::logic_error("Conv2D::backward: requires a training-mode forward");
   const Tensor& x = input_cache_;

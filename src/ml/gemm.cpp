@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ml/workspace.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace airfedga::ml {
@@ -48,6 +49,11 @@ constexpr std::size_t kNC = 256;
 // Flop target per parallel_for chunk: dispatch costs microseconds, so a
 // chunk must carry at least ~milliseconds of arithmetic to be worth it.
 constexpr std::size_t kMinFlopsPerTask = std::size_t{1} << 21;
+
+// A GEMM is worth a trace span only above this flop count (~1 Mflop, a
+// few hundred microseconds on one lane); smaller calls stay invisible so
+// the ring buffers hold the history that matters.
+constexpr std::size_t kGemmTraceMinFlops = std::size_t{1} << 20;
 
 std::atomic<std::size_t> g_coop_min_flops{std::size_t{1} << 23};
 
@@ -190,6 +196,10 @@ void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, cons
   }
   const std::size_t nb = ceil_div(n, kNC);
   const std::size_t tiles = ceil_div(m, kMC) * nb;
+  const std::size_t flops = 2 * m * n * k;
+  // Span only above a FLOP floor: tiny GEMMs (bias-sized) would swamp the
+  // ring buffers without adding attribution signal.
+  obs::Span span("gemm", "gemm.sgemm", flops >= kGemmTraceMinFlops);
   auto run_tile = [=](std::size_t t) {
     const std::size_t i0 = (t / nb) * kMC;
     const std::size_t j0 = (t % nb) * kNC;
@@ -200,7 +210,6 @@ void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, cons
     run_tile(0);
     return;
   }
-  const std::size_t flops = 2 * m * n * k;
   if (auto* pool = util::ThreadPool::cooperation_pool();
       pool != nullptr && flops >= gemm_coop_min_flops()) {
     // Training lane with idle lanes possibly available: recruit them. The

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace airfedga::obs {
+
+/// Monotonic event counter. add() is a relaxed atomic increment, safe from
+/// any thread; hot sites cache the reference once (Registry::counter
+/// allocates) so steady state is allocation-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: counts[i] holds samples with x <= bounds[i]
+/// (first matching bucket), plus one overflow bucket. Bucket layout is
+/// fixed at construction so record() is a short scan over preallocated
+/// atomics — no allocation, safe from any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double x) {
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (x <= bounds_[i]) {
+        bump(i, x);
+        return;
+      }
+    }
+    bump(bounds_.size(), x);  // overflow bucket
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;  ///< size bounds()+1
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  void bump(std::size_t i, double x) {
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+  }
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Plain-data copy of a Registry at one point in time; what the scenario
+/// runner serializes into its JSONL records (timing-gated — see
+/// docs/OBSERVABILITY.md) and what fl::Metrics carries to the benches.
+/// Deliberately excluded from Metrics::digest()/bit_identical(): some
+/// values are wall-clock- or thread-count-dependent.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< name-sorted
+  std::vector<HistogramData> histograms;                        ///< name-sorted
+
+  [[nodiscard]] bool empty() const { return counters.empty() && histograms.empty(); }
+};
+
+/// Named-metric registry. One per Driver (per run), so snapshots attribute
+/// cleanly to a single mechanism execution. Lookup allocates under a
+/// mutex; instruments themselves are address-stable, so hot paths resolve
+/// their Counter/Histogram once and then update lock-free.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+
+  /// Returns the histogram `name`, creating it with `bounds` on first use
+  /// (later calls ignore `bounds`; a bucket layout is fixed for the run).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace airfedga::obs

@@ -1,0 +1,289 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace airfedga::obs {
+
+namespace {
+
+/// Events per thread. Each TraceEvent is 48 bytes, so a full ring is 3 MiB
+/// per instrumented thread; on wraparound the oldest records are dropped
+/// (the trace keeps each lane's most recent history, dropped_events()
+/// reports how much was lost).
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+/// One thread's preallocated event buffer. Only the owning thread writes
+/// (head/total are plain fields); readers run under the flush quiescence
+/// contract.
+struct Ring {
+  explicit Ring(int tid_, std::string name_) : tid(tid_), name(std::move(name_)) {
+    events.resize(kRingCapacity);
+  }
+  std::vector<TraceEvent> events;
+  std::size_t head = 0;      ///< next write slot
+  std::uint64_t total = 0;   ///< events ever pushed (> capacity => wrapped)
+  int tid;                   ///< track id, registration order
+  std::string name;          ///< track name for the "M" metadata event
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+thread_local Ring* t_ring = nullptr;
+thread_local char t_name[48] = {0};
+
+/// Registers the calling thread's ring (the one allocation a traced
+/// thread ever performs; everything after is steady-state and alloc-free).
+Ring& ring_slow() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  const int tid = static_cast<int>(r.rings.size());
+  std::string name = t_name[0] != '\0' ? std::string(t_name) : "thread-" + std::to_string(tid);
+  r.rings.push_back(std::make_unique<Ring>(tid, std::move(name)));
+  t_ring = r.rings.back().get();
+  return *t_ring;
+}
+
+inline Ring& ring() { return t_ring != nullptr ? *t_ring : ring_slow(); }
+
+inline void push(const TraceEvent& e) {
+  Ring& r = ring();
+  r.events[r.head] = e;
+  r.head = (r.head + 1) % kRingCapacity;
+  ++r.total;
+}
+
+/// Appends `s` JSON-escaped (quotes, backslashes, control chars).
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// The ring's buffered events in push order (oldest first).
+std::vector<TraceEvent> ordered_events(const Ring& r) {
+  std::vector<TraceEvent> out;
+  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(r.total, kRingCapacity));
+  out.reserve(n);
+  const std::size_t start = r.total > kRingCapacity ? r.head : 0;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(r.events[(start + i) % kRingCapacity]);
+  return out;
+}
+
+/// Sums self time per span name for one thread. Spans are sorted by
+/// (begin asc, end desc) so a parent precedes its children; a stack sweep
+/// then subtracts each child's duration from its innermost enclosing span.
+void accumulate_self(const std::vector<TraceEvent>& events,
+                     std::map<std::string, SpanStat>& stats) {
+  struct Open {
+    std::uint64_t end_ns;
+    std::string* name;  // key in `stats`, stable across the sweep
+  };
+  std::vector<const TraceEvent*> spans;
+  for (const auto& e : events)
+    if (e.is_span) spans.push_back(&e);
+  std::sort(spans.begin(), spans.end(), [](const TraceEvent* a, const TraceEvent* b) {
+    if (a->begin_ns != b->begin_ns) return a->begin_ns < b->begin_ns;
+    return a->begin_ns + a->dur_ns > b->begin_ns + b->dur_ns;
+  });
+
+  std::vector<Open> stack;
+  for (const TraceEvent* s : spans) {
+    const std::uint64_t end = s->begin_ns + s->dur_ns;
+    while (!stack.empty() && stack.back().end_ns <= s->begin_ns) stack.pop_back();
+    auto it = stats.try_emplace(s->name).first;
+    SpanStat& st = it->second;
+    st.count += 1;
+    st.total_ns += s->dur_ns;
+    st.self_ns += s->dur_ns;
+    if (!stack.empty()) stats[*stack.back().name].self_ns -= s->dur_ns;
+    stack.push_back({end, const_cast<std::string*>(&it->first)});
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(t).count();
+  return static_cast<std::uint64_t>(ns - g_epoch_ns.load(std::memory_order_relaxed));
+}
+
+void push_span(const char* cat, const char* name, std::uint64_t begin_ns) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.begin_ns = begin_ns;
+  e.dur_ns = now_ns() - begin_ns;
+  e.is_span = true;
+  push(e);
+}
+
+void push_instant(const char* cat, const char* name, const char* arg_name, std::int64_t arg) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.arg_name = arg_name;
+  e.begin_ns = now_ns();
+  e.arg = arg;
+  push(e);
+}
+
+}  // namespace detail
+
+void enable() {
+  std::int64_t expected = 0;
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(t).count();
+  g_epoch_ns.compare_exchange_strong(expected, now, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  if (on) {
+    enable();
+  } else {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void reset_for_testing() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  for (auto& ring : r.rings) {
+    ring->head = 0;
+    ring->total = 0;
+  }
+}
+
+void name_this_thread(const char* name) {
+  std::snprintf(t_name, sizeof t_name, "%s", name);
+  if (t_ring != nullptr) t_ring->name = t_name;
+}
+
+std::uint64_t dropped_events() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : r.rings)
+    if (ring->total > kRingCapacity) dropped += ring->total - kRingCapacity;
+  return dropped;
+}
+
+void write_chrome_json(std::ostream& os) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  char buf[160];
+  for (const auto& ring : r.rings) {
+    line.clear();
+    line += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"",
+                  ring->tid);
+    line += buf;
+    append_escaped(line, ring->name.c_str());
+    line += "\"}}";
+    os << line;
+    for (const TraceEvent& e : ordered_events(*ring)) {
+      line = ",\n";
+      if (e.is_span) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"cat\":\"",
+                      ring->tid, static_cast<double>(e.begin_ns) / 1e3,
+                      static_cast<double>(e.dur_ns) / 1e3);
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\",\"cat\":\"",
+                      ring->tid, static_cast<double>(e.begin_ns) / 1e3);
+      }
+      line += buf;
+      append_escaped(line, e.cat);
+      line += "\",\"name\":\"";
+      append_escaped(line, e.name);
+      line += '"';
+      if (!e.is_span && e.arg_name != nullptr) {
+        line += ",\"args\":{\"";
+        append_escaped(line, e.arg_name);
+        std::snprintf(buf, sizeof buf, "\":%lld}", static_cast<long long>(e.arg));
+        line += buf;
+      }
+      line += '}';
+      os << line;
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::vector<SpanStat> aggregate_spans() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  std::map<std::string, SpanStat> stats;
+  for (const auto& ring : r.rings) accumulate_self(ordered_events(*ring), stats);
+  std::vector<SpanStat> out;
+  out.reserve(stats.size());
+  for (auto& [name, st] : stats) {
+    st.name = name;
+    out.push_back(std::move(st));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanStat& a, const SpanStat& b) { return a.self_ns > b.self_ns; });
+  return out;
+}
+
+void print_report(std::ostream& os) {
+  const std::vector<SpanStat> stats = aggregate_spans();
+  char buf[160];
+  os << "--- trace report: per-phase wall time (self excludes child spans) ---\n";
+  std::snprintf(buf, sizeof buf, "%-24s %10s %12s %12s\n", "span", "count", "total(ms)",
+                "self(ms)");
+  os << buf;
+  for (const SpanStat& s : stats) {
+    std::snprintf(buf, sizeof buf, "%-24s %10llu %12.3f %12.3f\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) / 1e6, static_cast<double>(s.self_ns) / 1e6);
+    os << buf;
+  }
+  const std::uint64_t dropped = dropped_events();
+  if (dropped > 0) {
+    std::snprintf(buf, sizeof buf, "(%llu events dropped to ring wraparound)\n",
+                  static_cast<unsigned long long>(dropped));
+    os << buf;
+  }
+}
+
+}  // namespace airfedga::obs

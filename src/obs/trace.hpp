@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \namespace airfedga::obs
+/// Observability layer: execution tracing and a metrics registry. Sits at
+/// the bottom of the layer map next to util (depends only on the standard
+/// library) so every other layer may instrument itself.
+///
+/// Design contract (docs/OBSERVABILITY.md):
+///  - zero-cost when disabled: every hot-path hook is a single relaxed
+///    atomic load plus a predicted branch, and never allocates;
+///  - zero steady-state allocations when enabled: events go into
+///    fixed-capacity per-thread ring buffers preallocated at each
+///    thread's first event (names/categories must be string literals);
+///  - read-only: tracing observes wall clocks and thread-local memory
+///    only — it never touches RNG streams or floating-point state, so
+///    Metrics::digest() is bit-identical with tracing on or off.
+namespace airfedga::obs {
+
+/// One recorded occurrence: a complete span (is_span, dur_ns > 0 allowed
+/// to be 0 for sub-tick spans) or an instant (dur_ns == 0, optional
+/// integer argument). Spans are recorded whole at their *end*, which makes
+/// ring-buffer wraparound safe: dropping whole records can never produce
+/// an unbalanced begin/end pair in the flushed trace.
+struct TraceEvent {
+  const char* name = nullptr;      ///< static string, e.g. "pool.task"
+  const char* cat = nullptr;       ///< static string, layer tag, e.g. "pool"
+  const char* arg_name = nullptr;  ///< static string; nullptr = no argument
+  std::uint64_t begin_ns = 0;      ///< start, ns since the trace epoch
+  std::uint64_t dur_ns = 0;        ///< duration; 0 for instants
+  std::int64_t arg = 0;            ///< argument value (when arg_name set)
+  bool is_span = false;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+std::uint64_t now_ns();
+void push_span(const char* cat, const char* name, std::uint64_t begin_ns);
+void push_instant(const char* cat, const char* name, const char* arg_name, std::int64_t arg);
+}  // namespace detail
+
+/// True when tracing is collecting. Relaxed load — this is the one branch
+/// every disabled hook pays.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turns collection on (idempotent). The first call pins the trace epoch;
+/// re-enabling after set_enabled(false) keeps the original epoch so a
+/// process has one coherent timeline.
+void enable();
+
+/// Test hook: toggles collection without clearing buffers.
+void set_enabled(bool on);
+
+/// Test hook: drops every buffered event (thread registrations and ring
+/// storage stay alive so cached thread-local pointers remain valid). Only
+/// call while no instrumented thread is recording.
+void reset_for_testing();
+
+/// Names the calling thread's track in the flushed trace (copied into a
+/// small thread-local buffer — no allocation, callable before enable()).
+/// Unnamed threads appear as "thread-<n>" in registration order.
+void name_this_thread(const char* name);
+
+/// Records an instant event. No-op (one branch) when disabled.
+inline void instant(const char* cat, const char* name) {
+  if (enabled()) detail::push_instant(cat, name, nullptr, 0);
+}
+
+/// Records an instant event carrying one integer argument, e.g. the
+/// pending-event depth at an eventq.pop.
+inline void instant(const char* cat, const char* name, const char* arg_name, std::int64_t arg) {
+  if (enabled()) detail::push_instant(cat, name, arg_name, arg);
+}
+
+/// RAII span: stamps the clock at construction when tracing is enabled and
+/// records one complete TraceEvent at destruction. When disabled, both
+/// ends cost one predictable branch and nothing else.
+class Span {
+ public:
+  Span(const char* cat, const char* name) {
+    if (enabled()) {
+      cat_ = cat;
+      name_ = name;
+      begin_ns_ = detail::now_ns();
+    }
+  }
+  /// Arms only when `cond` also holds — for thresholded spans (e.g. GEMMs
+  /// above a FLOP floor) without an optional<Span> at the call site.
+  Span(const char* cat, const char* name, bool cond) {
+    if (cond && enabled()) {
+      cat_ = cat;
+      name_ = name;
+      begin_ns_ = detail::now_ns();
+    }
+  }
+  ~Span() {
+    if (cat_ != nullptr) detail::push_span(cat_, name_, begin_ns_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* cat_ = nullptr;  ///< nullptr = disarmed (tracing was off)
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// Events dropped to ring wraparound across all threads (each thread keeps
+/// its most recent events; the count tells you how much history was lost).
+std::uint64_t dropped_events();
+
+/// Writes everything buffered so far as Chrome trace-event JSON ("X"
+/// complete spans, "i" instants, "M" thread_name metadata; ts/dur in
+/// microseconds), loadable in chrome://tracing and Perfetto.
+///
+/// Quiescence contract: the caller must ensure no instrumented thread is
+/// concurrently recording (e.g. flush after every Driver has joined its
+/// pool and global-pool lanes are idle). The scenario CLI flushes once,
+/// after all runs complete.
+void write_chrome_json(std::ostream& os);
+
+/// Per-category aggregate for the terminal report. `self_ns` excludes time
+/// spent in child spans on the same thread; `total_ns` is inclusive.
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+/// Aggregates all buffered spans per span name, sorted by self time
+/// descending. Same quiescence contract as write_chrome_json().
+std::vector<SpanStat> aggregate_spans();
+
+/// Prints the per-phase wall-time breakdown (count / total / self per span
+/// category) as a table — terminal attribution without leaving the shell.
+void print_report(std::ostream& os);
+
+}  // namespace airfedga::obs

@@ -89,6 +89,12 @@ RunArgs parse_run_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--out=", 0) == 0) {
       out.out_dir = arg.substr(6);
       if (out.out_dir.empty()) throw std::invalid_argument("--out: directory must not be empty");
+    } else if (arg == "--trace") {
+      out.trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      out.trace = true;
+      out.trace_path = arg.substr(8);
+      if (out.trace_path.empty()) throw std::invalid_argument("--trace: path must not be empty");
     } else if (arg == "--sweep" || arg.rfind("--sweep=", 0) == 0) {
       std::string assign;
       if (arg == "--sweep") {

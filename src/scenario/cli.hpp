@@ -45,11 +45,16 @@ struct RunArgs {
   bool append = false;                   ///< --append: accumulate result files
   bool timing = true;                    ///< cleared by --no-timing (byte-stable output)
   std::string out_dir = "scenario_results";  ///< --out=DIR
+  /// --trace[=PATH]: collect obs spans/metrics and write a Chrome trace
+  /// JSON after the runs. Execution-only — the spec is not modified, so a
+  /// traced run keeps the untraced run's config_hash and digests.
+  bool trace = false;
+  std::string trace_path;  ///< empty = <out_dir>/trace.json
 };
 
 /// Parses run/run-dir flags: --seed, --threads, --time-budget, --jobs,
-/// --append, --no-timing, --out, and --sweep in both its one-token
-/// (--sweep=path=v1,v2) and two-token (--sweep path=v1,v2) forms.
+/// --append, --no-timing, --out, --trace[=PATH], and --sweep in both its
+/// one-token (--sweep=path=v1,v2) and two-token (--sweep path=v1,v2) forms.
 /// Positional arguments land in `sources` (count is validated by the
 /// command, not here). Unknown --flags are an error.
 RunArgs parse_run_args(const std::vector<std::string>& args);

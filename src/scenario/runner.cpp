@@ -295,6 +295,33 @@ Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
   engine.set("evals", es.evals);
   rec.set("engine_stats", std::move(engine));
 
+  // Observability snapshot (docs/OBSERVABILITY.md). Timing-gated as a
+  // block: some values (pool.busy_ns, coop counts) are wall-clock- or
+  // lane-scheduling-dependent and --no-timing output must stay
+  // byte-comparable across --jobs/threads.
+  if (opts.timing && !m.obs_snapshot().empty()) {
+    const obs::MetricsSnapshot& snap = m.obs_snapshot();
+    Json counters = Json::object();
+    for (const auto& [name, value] : snap.counters) counters.set(name, value);
+    Json hists = Json::object();
+    for (const auto& h : snap.histograms) {
+      Json hj = Json::object();
+      Json bounds = Json::array();
+      for (double b : h.bounds) bounds.push_back(Json(b));
+      Json counts = Json::array();
+      for (std::uint64_t c : h.counts) counts.push_back(Json(c));
+      hj.set("bounds", std::move(bounds));
+      hj.set("counts", std::move(counts));
+      hj.set("count", h.count);
+      hj.set("sum", h.sum);
+      hists.set(h.name, std::move(hj));
+    }
+    Json metrics = Json::object();
+    metrics.set("counters", std::move(counters));
+    metrics.set("histograms", std::move(hists));
+    rec.set("metrics", std::move(metrics));
+  }
+
   rec.set("points_csv", points_csv);
   return rec;
 }

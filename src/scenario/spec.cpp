@@ -264,6 +264,7 @@ Json ScenarioSpec::to_json() const {
   ru.set("worker_state", worker_state);
   ru.set("event_queue", event_queue);
   ru.set("cohort_size", cohort_size);
+  ru.set("trace", trace);
   j.set("run", std::move(ru));
 
   Json mechs = Json::array();
@@ -388,6 +389,7 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     u.str("worker_state", s.worker_state);
     u.str("event_queue", s.event_queue);
     u.count("cohort_size", s.cohort_size);
+    u.boolean("trace", s.trace);
     u.finish();
   }
 
@@ -678,6 +680,7 @@ BuiltScenario build(const ScenarioSpec& spec) {
   cfg.event_queue =
       spec.event_queue == "calendar" ? sim::QueueBackend::kCalendar : sim::QueueBackend::kBinaryHeap;
   cfg.cohort_size = spec.cohort_size;
+  cfg.trace = spec.trace;
   cfg.validate();
 
   for (const auto& m : spec.mechanisms) {

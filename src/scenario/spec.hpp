@@ -123,6 +123,7 @@ struct ScenarioSpec {
   std::string worker_state = "eager";  ///< "eager" | "lazy" (pooled, for huge populations)
   std::string event_queue = "heap";    ///< "heap" | "calendar" event-queue backend
   std::size_t cohort_size = 0;  ///< per-round training-cohort subsample (0 = all selected)
+  bool trace = false;           ///< collect obs spans/metrics (read-only: digests unchanged)
 
   std::vector<MechanismSpec> mechanisms;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace airfedga::sim {
 
 EventQueue::EventQueue(QueueBackend backend) : backend_(backend) {
@@ -129,6 +131,7 @@ std::uint64_t EventQueue::schedule(double time, int kind, std::size_t actor) {
     cal_insert(e);
   }
   ++size_;
+  obs::instant("sim", "eventq.push", "pending", static_cast<std::int64_t>(size_));
   if (backend_ == QueueBackend::kCalendar && size_ > 2 * buckets_.size()) {
     cal_resize(buckets_.size() * 2);
   }
@@ -149,6 +152,7 @@ Event EventQueue::pop() {
   }
   --size_;
   now_ = e.time;
+  obs::instant("sim", "eventq.pop", "pending", static_cast<std::int64_t>(size_));
   if (backend_ == QueueBackend::kCalendar && buckets_.size() > 8 && size_ < buckets_.size() / 2) {
     cal_resize(std::max<std::size_t>(8, buckets_.size() / 2));
   }

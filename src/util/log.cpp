@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -19,6 +21,13 @@ const char* level_name(LogLevel level) {
     default: return "?????";
   }
 }
+
+/// Monotonic seconds since the first log call — a stable, ordering-safe
+/// stamp (wall clocks can step backwards under NTP).
+double seconds_since_start() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch).count();
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
@@ -26,8 +35,19 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  // Assemble the whole record first and emit it as one write under the
+  // lock: per-token stream insertions let concurrent lanes interleave
+  // fragments of different records on stderr.
+  char prefix[48];
+  std::snprintf(prefix, sizeof prefix, "[%s %12.6f] ", level_name(level),
+                seconds_since_start());
+  std::string line;
+  line.reserve(sizeof prefix + msg.size() + 1);
+  line += prefix;
+  line += msg;
+  line += '\n';
   std::scoped_lock lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 
 }  // namespace airfedga::util

@@ -1,8 +1,12 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace airfedga::util {
 
@@ -42,7 +46,10 @@ ThreadPool::SerialRegion::~SerialRegion() { t_in_parallel_work = prev_; }
 ThreadPool::ThreadPool(std::size_t num_threads) {
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] {
+    threads_.emplace_back([this, i] {
+      char name[32];
+      std::snprintf(name, sizeof name, "lane-%zu", i);
+      obs::name_this_thread(name);
       t_in_parallel_work = true;
       worker_loop();
     });
@@ -77,7 +84,19 @@ void ThreadPool::worker_loop() {
       task = pop_task_locked();
     }
     t_current_key = task.key;
-    task.fn();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      obs::Span span("pool", "pool.task");
+      const auto t0 = std::chrono::steady_clock::now();
+      task.fn();
+      busy_ns_.fetch_add(static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count()),
+                         std::memory_order_relaxed);
+    } else {
+      task.fn();
+    }
     t_current_key = kNoDeadline;
   }
 }
@@ -194,6 +213,7 @@ void ThreadPool::cooperate(std::size_t n, const std::function<void(std::size_t)>
   const double key = t_current_key;  // inherit the donating task's deadline
   for (std::size_t h = 0; h < helpers; ++h) {
     enqueue(key, [this, state, drain] {
+      obs::Span span("pool", "pool.coop_help");
       const std::size_t done = drain(*state);
       if (done > 0) coop_helper_tiles_.fetch_add(done, std::memory_order_relaxed);
     });

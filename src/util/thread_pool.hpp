@@ -157,6 +157,19 @@ class ThreadPool {
             coop_helper_tiles_.load(std::memory_order_relaxed)};
   }
 
+  /// Tasks executed by pool workers since construction (parallel_for
+  /// chunks, submitted jobs, cooperation helpers). Always counted.
+  [[nodiscard]] std::uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative wall time workers spent inside task bodies, in
+  /// nanoseconds. Collected only while obs tracing is enabled (the
+  /// disabled path must not pay two clock reads per task); 0 otherwise.
+  [[nodiscard]] std::uint64_t busy_ns() const {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+
   /// RAII guard installing `pool` as the calling thread's cooperation
   /// target: ML kernels underneath the scope may call `pool.cooperate` to
   /// recruit idle lanes. Installed by Driver around worker local training
@@ -211,6 +224,8 @@ class ThreadPool {
   std::atomic<std::size_t> idle_{0};                ///< workers blocked in the task wait
   std::atomic<std::uint64_t> coop_regions_{0};      ///< cooperate() calls with helpers
   std::atomic<std::uint64_t> coop_helper_tiles_{0}; ///< tiles run by helpers
+  std::atomic<std::uint64_t> tasks_run_{0};         ///< tasks executed by workers
+  std::atomic<std::uint64_t> busy_ns_{0};           ///< wall ns inside task bodies (traced runs)
 };
 
 /// Process-wide pool sized to the hardware concurrency (minus one for the

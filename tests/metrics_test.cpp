@@ -52,6 +52,36 @@ TEST(Metrics, EnergyToAccuracy) {
   EXPECT_LT(m.energy_to_accuracy(0.99, 1), 0.0);
 }
 
+TEST(Metrics, WindowLargerThanSeries) {
+  const Metrics m = ramp_metrics();
+  // A window wider than the series degrades to prefix means: smooth[i] =
+  // mean(acc[0..i]) = 0.05 * (i + 2), which first reaches 0.5 at i = 8
+  // (the last point) — no out-of-range access, no premature "-1".
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.5, 100), 90.0);
+  EXPECT_DOUBLE_EQ(m.energy_to_accuracy(0.5, 100), 45.0);
+  // The prefix mean never reaches the raw final accuracy, so a target the
+  // unsmoothed series would hit stays unreached under the huge window.
+  EXPECT_LT(m.time_to_accuracy(0.9, 100), 0.0);
+}
+
+TEST(Metrics, TargetHitOnFirstPoint) {
+  const Metrics m = ramp_metrics();
+  // smooth[0] is the mean of a single value for every window, so a target
+  // at or below the first accuracy resolves to the first point.
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.1, 3), 10.0);
+  EXPECT_DOUBLE_EQ(m.energy_to_accuracy(0.1, 3), 5.0);
+  EXPECT_DOUBLE_EQ(m.time_to_accuracy(0.0, 3), 10.0);  // trivially met
+}
+
+TEST(Metrics, EmptySeriesNeverReachesTargets) {
+  const Metrics m;
+  EXPECT_LT(m.time_to_accuracy(0.0, 1), 0.0);
+  EXPECT_LT(m.time_to_accuracy(0.5, 3), 0.0);
+  EXPECT_LT(m.energy_to_accuracy(0.0, 1), 0.0);
+  EXPECT_LT(m.energy_to_accuracy(0.5, 3), 0.0);
+}
+
 TEST(Metrics, MaxStaleness) {
   Metrics m;
   m.record({1.0, 1, 1.0, 0.1, 0.0, 0.0});

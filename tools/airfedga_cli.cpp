@@ -10,6 +10,7 @@
 //                                              [--time-budget=X] [--jobs=N]
 //                                              [--sweep path=v1,v2,...]...
 //                                              [--out=DIR] [--append] [--no-timing]
+//                                              [--trace[=PATH]]
 //   airfedga_cli run-dir <directory>           [same options]
 //   airfedga_cli list
 //   airfedga_cli validate <scenario.json|->
@@ -25,10 +26,12 @@
 // order, so the output files are byte-stable for every N.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "scenario/cli.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/runner.hpp"
@@ -65,6 +68,10 @@ run / run-dir options:
                          replacing them (default: fresh files per invocation)
   --no-timing            omit wall-clock fields from results, making the output
                          byte-for-byte comparable across runs and machines
+  --trace[=PATH]         collect execution spans/metrics and write a Chrome
+                         trace-event JSON (default: <out-dir>/trace.json) plus a
+                         per-phase wall-time report; tracing is read-only, so
+                         digests match the untraced run bit for bit
 
 Scenario files may carry a top-level "sweeps" object — a checked-in study:
   "sweeps": { "mechanisms.0.xi": [0.1, 0.3], "run.seed": [1, 2] }
@@ -99,6 +106,11 @@ void print_summary(const std::vector<scenario::ScenarioResult>& results) {
 /// exports, and reports. Shared tail of cmd_run / cmd_run_dir.
 int run_variants(const scenario::cli::RunArgs& ra,
                  const std::vector<scenario::ScenarioSpec>& variants) {
+  // Execution-only switch: obs::enable() changes what is *observed*, never
+  // what runs, so the variants keep their config hashes and digests. Specs
+  // can opt in independently via run.trace.
+  if (ra.trace) obs::enable();
+
   scenario::BatchRunOptions batch;
   batch.jobs = ra.jobs;
   batch.threads = ra.threads;
@@ -114,6 +126,18 @@ int run_variants(const scenario::cli::RunArgs& ra,
   std::printf("\nwrote %s/results.jsonl, %s/summary.csv (git %s, schema v%d)\n",
               ra.out_dir.c_str(), ra.out_dir.c_str(), git.c_str(),
               scenario::kResultsSchemaVersion);
+
+  // Trace flush: every Driver has joined its lane pool by now and the
+  // global pool is idle, so the ring buffers are quiescent.
+  if (obs::enabled()) {
+    const std::string path =
+        ra.trace_path.empty() ? ra.out_dir + "/trace.json" : ra.trace_path;
+    std::ofstream trace_out(path, std::ios::trunc);
+    if (!trace_out) return fail("cannot open trace output " + path);
+    obs::write_chrome_json(trace_out);
+    std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n\n", path.c_str());
+    obs::print_report(std::cout);
+  }
   if (!outcome.all_identical) {
     std::fprintf(stderr,
                  "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
