@@ -33,6 +33,7 @@ void panel(const char* title, const std::string& preset_name,
   util::Table t([&] {
     std::vector<std::string> h = {"mechanism"};
     for (double target : targets) h.push_back("E@" + util::Table::fmt(100 * target, 0) + "% (J)");
+    h.push_back("total (J)");
     return h;
   }());
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -41,6 +42,10 @@ void panel(const char* title, const std::string& preset_name,
       const double e = runs[i].energy_to_accuracy(target);
       cells.push_back(e < 0 ? "-" : util::Table::fmt(e, 0));
     }
+    // Whole-run energy from the obs metrics registry (the
+    // "substrate.energy_j" histogram the driver fills per transmission),
+    // not re-derived from the point series.
+    cells.push_back(util::Table::fmt(runs[i].obs_total_energy(), 0));
     t.add_row(std::move(cells));
   }
   t.print(std::cout);

@@ -24,6 +24,8 @@ AirCompChannel::Output AirCompChannel::aggregate(const Input& in) {
   if (m == 0) throw std::invalid_argument("AirCompChannel::aggregate: empty group");
   if (in.data_sizes.size() != m || in.gains.size() != m)
     throw std::invalid_argument("AirCompChannel::aggregate: size/gain count mismatch");
+  if (!in.csi_scale.empty() && in.csi_scale.size() != m)
+    throw std::invalid_argument("AirCompChannel::aggregate: csi_scale count mismatch");
   if (in.sigma <= 0.0 || in.eta <= 0.0)
     throw std::invalid_argument("AirCompChannel::aggregate: sigma and eta must be > 0");
   if (in.total_data <= 0.0)
@@ -47,7 +49,12 @@ AirCompChannel::Output AirCompChannel::aggregate(const Input& in) {
   // by the PS estimate (Eq. 10). Accumulate in double for q up to millions.
   std::vector<double> y(q, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
-    const double scale = in.data_sizes[i] * in.sigma;
+    // Imperfect CSI leaves the residual h/h_hat on worker i's contribution
+    // (pre-equalization divides by h_hat, the channel multiplies by h).
+    // The empty-vector fast path keeps perfect-CSI arithmetic untouched.
+    const double scale = in.csi_scale.empty()
+                             ? in.data_sizes[i] * in.sigma
+                             : in.data_sizes[i] * in.sigma * in.csi_scale[i];
     const float* w = in.local_models[i].data();
     for (std::size_t d = 0; d < q; ++d) y[d] += scale * w[d];
   }

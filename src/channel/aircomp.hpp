@@ -33,7 +33,14 @@ class AirCompChannel {
     std::span<const float> w_prev;                   ///< w_{t-1}
     std::vector<std::span<const float>> local_models;  ///< w^i_t, group order
     std::vector<double> data_sizes;                  ///< d_i
-    std::vector<double> gains;                       ///< h^i_t
+    std::vector<double> gains;                       ///< h^i_t as estimated by the PS
+    /// Per-worker CSI mismatch factors h / h_hat applied to the received
+    /// superposition: the worker pre-equalizes against the PS estimate
+    /// h_hat, but the physical channel applies the true h, leaving the
+    /// residual factor on its contribution. Empty = perfect CSI (bit-exact
+    /// classic path). Transmit energies are unaffected — the worker spends
+    /// power according to its (mis)estimate.
+    std::vector<double> csi_scale;
     double sigma = 1.0;                              ///< power scaling sigma_t
     double eta = 1.0;                                ///< denoising factor eta_t
     double total_data = 1.0;                         ///< D

@@ -12,9 +12,10 @@ data::WorkerGroups AirFedAvg::make_cohorts(SchedulingLoop& loop) {
 }
 
 double AirFedAvg::upload_seconds(const SchedulingLoop& loop,
-                                 const std::vector<std::size_t>& /*members*/) const {
+                                 const std::vector<std::size_t>& /*members*/,
+                                 double now) const {
   // One concurrent over-the-air transmission, independent of N.
-  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+  return loop.driver().substrate().aircomp_upload_seconds(loop.driver().model_dim(), now);
 }
 
 std::vector<float> AirFedAvg::aggregate(SchedulingLoop& loop,

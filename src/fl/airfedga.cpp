@@ -10,7 +10,9 @@ data::WorkerGroups AirFedGA::make_cohorts(SchedulingLoop& loop) {
   const FLConfig& cfg = loop.config();
 
   core::GroupingConfig gcfg = cfg_.grouping;
-  gcfg.aircomp_upload_seconds = driver.latency().aircomp_upload_seconds(driver.model_dim());
+  // Planning uses the substrate's t = 0 latency (static for the classic
+  // models; time-varying substrates plan on the initial conditions).
+  gcfg.aircomp_upload_seconds = driver.substrate().aircomp_upload_seconds(driver.model_dim(), 0.0);
   gcfg.energy_cap = cfg.energy_cap;
   gcfg.convergence.sigma0_sq = cfg.aircomp.sigma0_sq;
   if (cfg_.auto_calibrate_model_bound) {
@@ -30,9 +32,10 @@ data::WorkerGroups AirFedGA::make_cohorts(SchedulingLoop& loop) {
 }
 
 double AirFedGA::upload_seconds(const SchedulingLoop& loop,
-                                const std::vector<std::size_t>& /*members*/) const {
+                                const std::vector<std::size_t>& /*members*/,
+                                double now) const {
   // One concurrent group transmission, L_u (Eq. 34).
-  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+  return loop.driver().substrate().aircomp_upload_seconds(loop.driver().model_dim(), now);
 }
 
 std::vector<float> AirFedGA::aggregate(SchedulingLoop& loop,

@@ -26,6 +26,7 @@ void FLConfig::validate() const {
   if (energy_cap <= 0.0) throw std::invalid_argument("FLConfig: energy cap must be > 0");
   if (population != 0 && population < partition.size())
     throw std::invalid_argument("FLConfig: population must be 0 or >= the shard count");
+  substrate.validate();
 }
 
 namespace {
@@ -59,13 +60,13 @@ Driver::Driver(const FLConfig& cfg)
       scratch_(cfg.model_factory()),
       stats_(*cfg.train, cfg.partition, population_),
       cluster_(population_, cfg.cluster),
-      fading_(population_, cfg.fading),
+      substrate_(sim::make_substrate(population_, cfg.fading, cfg.latency, cfg.substrate,
+                                     cfg.seed)),
       aircomp_([&] {
         auto c = cfg.aircomp;
         c.seed = util::splitmix64(cfg.seed ^ 0xA17C0);  // decorrelate from weights
         return c;
-      }()),
-      latency_(cfg.latency) {
+      }()) {
   cfg.validate();
   if (cfg.trace) obs::enable();
   // The constructing thread runs the simulation (event loop, aggregation);
@@ -73,6 +74,10 @@ Driver::Driver(const FLConfig& cfg)
   obs::name_this_thread("sim");
   warm_hits_ = &registry_.counter("pool.warm_hits");
   cold_replays_ = &registry_.counter("pool.cold_replays");
+  energy_hist_ = &registry_.histogram(
+      "substrate.energy_j", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+  csi_hist_ = &registry_.histogram(
+      "substrate.csi_err", {0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0});
   model_dim_ = scratch_.num_parameters();
   lazy_ = cfg.lazy_workers;
 
@@ -233,14 +238,6 @@ void Driver::release_workers(const std::vector<std::size_t>& members) {
     slot_leased_[slot] = 0;
     released_.push_back(slot);
   }
-}
-
-const std::vector<double>& Driver::round_gains(std::size_t round) {
-  if (gains_round_ != round) {
-    gains_cache_ = fading_.gains(round);
-    gains_round_ = round;
-  }
-  return gains_cache_;
 }
 
 void Driver::begin_training(const std::vector<std::size_t>& members,
@@ -440,13 +437,14 @@ obs::MetricsSnapshot Driver::metrics_snapshot() {
   registry_.counter("pool.busy_ns").set(pool_->busy_ns());
   registry_.counter("gemm.coop_regions").set(coop.regions);
   registry_.counter("gemm.coop_helper_tiles").set(coop.helper_tiles);
+  registry_.counter("substrate.depleted").set(substrate_->depleted_count());
   return registry_.snapshot();
 }
 
 core::PowerControlResult Driver::power_for_group(const std::vector<std::size_t>& members,
                                                  std::size_t round) {
   if (members.empty()) throw std::invalid_argument("power_for_group: empty group");
-  const auto& gains = round_gains(round);
+  const auto& gains = substrate_->gains(round);
   core::PowerControlInput in;
   in.sigma0_sq = cfg_->aircomp.sigma0_sq;
   double w_sq = 0.0;
@@ -470,7 +468,8 @@ std::vector<float> Driver::aircomp_aggregate(const std::vector<std::size_t>& mem
                                              std::span<const float> w_prev, std::size_t round,
                                              double& energy_joules) {
   const auto pc = power_for_group(members, round);
-  const auto& gains = round_gains(round);
+  const auto& gains = substrate_->gains(round);
+  const auto csi = substrate_->csi_scales(round);
 
   channel::AirCompChannel::Input in;
   in.w_prev = w_prev;
@@ -482,14 +481,23 @@ std::vector<float> Driver::aircomp_aggregate(const std::vector<std::size_t>& mem
     in.local_models.push_back(w.local_model());
     in.data_sizes.push_back(static_cast<double>(w.data_size()));
     in.gains.push_back(gains.at(m));
+    if (!csi.empty()) {
+      in.csi_scale.push_back(csi[m]);
+      csi_hist_->record(csi[m]);
+    }
   }
   auto out = aircomp_.aggregate(in);
-  for (double e : out.energies) energy_joules += e;
+  for (std::size_t i = 0; i < out.energies.size(); ++i) {
+    const double e = out.energies[i];
+    energy_joules += e;
+    energy_hist_->record(e);
+    substrate_->charge(members[i], e);
+  }
   return std::move(out.w_next);
 }
 
 std::vector<float> Driver::oma_aggregate(const std::vector<std::size_t>& members,
-                                         std::span<const float> w_prev) const {
+                                         std::span<const float> w_prev) {
   std::vector<std::span<const float>> models;
   std::vector<double> sizes;
   for (auto m : members) {
@@ -498,6 +506,9 @@ std::vector<float> Driver::oma_aggregate(const std::vector<std::size_t>& members
     models.push_back(w.local_model());
     sizes.push_back(static_cast<double>(w.data_size()));
   }
+  const double upload_joules = substrate_->oma_upload_joules();
+  if (upload_joules > 0.0)
+    for (auto m : members) substrate_->charge(m, upload_joules);
   return channel::AirCompChannel::ideal_aggregate(w_prev, models, sizes,
                                                   static_cast<double>(stats_.total_size()));
 }

@@ -11,6 +11,7 @@
 #include "channel/fading.hpp"
 #include "channel/latency.hpp"
 #include "core/power_control.hpp"
+#include "sim/substrate.hpp"
 #include "data/data_stats.hpp"
 #include "data/dataset.hpp"
 #include "data/partition.hpp"
@@ -80,6 +81,7 @@ struct FLConfig {
   channel::LatencyConfig latency;          ///< OMA/AirComp upload latency model
   channel::FadingChannel::Config fading;   ///< Rayleigh block-fading parameters
   channel::AirCompChannel::Config aircomp; ///< over-the-air aggregation parameters
+  sim::SubstrateOptions substrate;  ///< time-varying realism generators (default static)
   double energy_cap = 10.0;         ///< \f$\hat{E}_i\f$ per worker per round (J)
 
   // Run control
@@ -204,11 +206,13 @@ class Driver {
   /// Per-worker compute-heterogeneity model (local training times).
   [[nodiscard]] const sim::ClusterModel& cluster() const { return cluster_; }
 
-  /// Per-worker, per-round Rayleigh fading gains.
-  [[nodiscard]] const channel::FadingChannel& fading() const { return fading_; }
+  /// The run's physical substrate: per-worker channel gains, upload
+  /// latency, availability, and remaining energy, queried at virtual-time
+  /// points (the static generator reproduces the classic frozen models).
+  [[nodiscard]] sim::Substrate& substrate() { return *substrate_; }
 
-  /// OMA/AirComp upload latency model.
-  [[nodiscard]] const channel::LatencyModel& latency() const { return latency_; }
+  /// Const counterpart of substrate() (read-only queries).
+  [[nodiscard]] const sim::Substrate& substrate() const { return *substrate_; }
 
   /// Deadline value for untagged batches: they run after every tagged one.
   static constexpr double kNoDeadline = util::ThreadPool::kNoDeadline;
@@ -276,9 +280,11 @@ class Driver {
                                        std::span<const float> w_prev, std::size_t round,
                                        double& energy_joules);
 
-  /// Error-free OMA aggregation (Eq. 8) over `members`.
+  /// Error-free OMA aggregation (Eq. 8) over `members`. Charges each
+  /// member the substrate's flat per-upload OMA energy (0 when the energy
+  /// generator is off).
   std::vector<float> oma_aggregate(const std::vector<std::size_t>& members,
-                                   std::span<const float> w_prev) const;
+                                   std::span<const float> w_prev);
 
   /// Helper for the shared early-stop rule: true once the mean of the last
   /// 3 evaluation accuracies reaches cfg.stop_at_accuracy (if enabled).
@@ -298,7 +304,6 @@ class Driver {
                                   std::size_t n_batches);
   Worker& lease_worker(std::size_t i);
   util::Rng worker_rng(std::size_t i) const;
-  const std::vector<double>& round_gains(std::size_t round);
 
   const FLConfig* cfg_;
   std::size_t population_ = 0;
@@ -308,17 +313,10 @@ class Driver {
   std::size_t model_dim_ = 0;
   data::DataStats stats_;
   sim::ClusterModel cluster_;
-  channel::FadingChannel fading_;
+  std::unique_ptr<sim::Substrate> substrate_;
   channel::AirCompChannel aircomp_;
-  channel::LatencyModel latency_;
   ml::Tensor eval_xs_;
   std::vector<int> eval_ys_;
-
-  // Per-round fading-gain cache: gains(round) is a pure function of
-  // (fading seed, round), so caching the latest round is digest-neutral
-  // and halves the O(population) Rayleigh draws per aggregation.
-  std::size_t gains_round_ = static_cast<std::size_t>(-1);
-  std::vector<double> gains_cache_;
 
   // Lazy worker pool. Workers not currently selected exist only as
   // descriptors: a bound_[] slot reference (npos when cold), a completed-
@@ -345,6 +343,8 @@ class Driver {
   obs::Registry registry_;
   obs::Counter* warm_hits_ = nullptr;     ///< cached &registry_["pool.warm_hits"]
   obs::Counter* cold_replays_ = nullptr;  ///< cached &registry_["pool.cold_replays"]
+  obs::Histogram* energy_hist_ = nullptr; ///< "substrate.energy_j" (AirComp Eq. 7)
+  obs::Histogram* csi_hist_ = nullptr;    ///< "substrate.csi_err" (h / h_hat factors)
   // Destroyed first (declared last): joining the pool drains outstanding
   // tasks before any state they reference goes away.
   std::unique_ptr<util::ThreadPool> pool_;

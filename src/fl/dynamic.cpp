@@ -24,7 +24,7 @@ std::vector<std::size_t> DynamicAirComp::select(SchedulingLoop& loop, std::size_
   // power for the common sigma_t (Eq. 6), so this is the energy-friendly
   // subset; it is re-drawn every round with the fading, which is what
   // makes the participating data distribution wander under label skew.
-  const auto gains = loop.driver().fading().gains(round);
+  const auto& gains = loop.driver().substrate().gains(round);
   const double cutoff = util::quantile(gains, selection_quantile_);
   std::vector<std::size_t> selected;
   for (std::size_t i = 0; i < gains.size(); ++i)
@@ -33,8 +33,9 @@ std::vector<std::size_t> DynamicAirComp::select(SchedulingLoop& loop, std::size_
 }
 
 double DynamicAirComp::upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& /*members*/) const {
-  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+                                      const std::vector<std::size_t>& /*members*/,
+                                      double now) const {
+  return loop.driver().substrate().aircomp_upload_seconds(loop.driver().model_dim(), now);
 }
 
 std::vector<float> DynamicAirComp::aggregate(SchedulingLoop& loop,

@@ -20,15 +20,16 @@ data::WorkerGroups FedAsync::make_cohorts(SchedulingLoop& loop) {
 }
 
 double FedAsync::upload_seconds(const SchedulingLoop& loop,
-                                const std::vector<std::size_t>& members) const {
-  return loop.driver().latency().oma_upload_seconds(loop.driver().model_dim(), members.size());
+                                const std::vector<std::size_t>& members, double now) const {
+  return loop.driver().substrate().oma_upload_seconds(loop.driver().model_dim(), members.size(),
+                                                      now);
 }
 
 double FedAsync::aggregate_time(const SchedulingLoop& loop, std::size_t /*cohort*/,
                                 const std::vector<std::size_t>& members, double start) const {
   // Left-to-right association (start + l_i) + upload, matching the
   // original event arithmetic bit for bit.
-  return start + loop.local_times()[members.front()] + upload_seconds(loop, members);
+  return start + loop.local_times()[members.front()] + upload_seconds(loop, members, start);
 }
 
 std::vector<float> FedAsync::aggregate(SchedulingLoop& loop,

@@ -12,9 +12,10 @@ data::WorkerGroups FedAvg::make_cohorts(SchedulingLoop& loop) {
 }
 
 double FedAvg::upload_seconds(const SchedulingLoop& loop,
-                              const std::vector<std::size_t>& members) const {
+                              const std::vector<std::size_t>& members, double now) const {
   // N serialized OMA uploads — the linear-in-N term of Fig. 10.
-  return loop.driver().latency().oma_upload_seconds(loop.driver().model_dim(), members.size());
+  return loop.driver().substrate().oma_upload_seconds(loop.driver().model_dim(), members.size(),
+                                                      now);
 }
 
 std::vector<float> FedAvg::aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,

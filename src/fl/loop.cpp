@@ -40,7 +40,7 @@ double Mechanism::aggregate_time(const SchedulingLoop& loop, std::size_t /*cohor
                                  const std::vector<std::size_t>& members, double start) const {
   double compute = 0.0;
   for (auto m : members) compute = std::max(compute, loop.local_times()[m]);
-  return start + (compute + upload_seconds(loop, members));
+  return start + (compute + upload_seconds(loop, members, start));
 }
 
 bool Mechanism::should_flush(SchedulingLoop&, const std::vector<std::size_t>&) { return true; }
@@ -70,6 +70,10 @@ SchedulingLoop::SchedulingLoop(Driver& driver, Mechanism& policy)
     for (auto m : cohorts_[j]) cohort_of_[m] = j;
   server_.emplace(driver_.initial_model(), cohorts_.size());
   active_.resize(cohorts_.size());
+  substrate_ = &driver_.substrate();
+  realism_ = substrate_->time_varying();
+  idle_.assign(cohorts_.size(), 0);
+  dropouts_ = &driver_.registry().counter("substrate.dropouts");
 
   // Both histograms hold virtual-time quantities, so their contents are a
   // pure function of the scenario (threads/backends never change them).
@@ -79,7 +83,26 @@ SchedulingLoop::SchedulingLoop(Driver& driver, Mechanism& policy)
       std::string("latency.") + trigger_slug(trigger_), {1, 2, 4, 8, 16, 32, 64, 128, 256});
 }
 
+std::vector<std::size_t> SchedulingLoop::filter_selectable(std::vector<std::size_t> candidates,
+                                                           double time) const {
+  if (!realism_) return candidates;
+  std::vector<std::size_t> kept;
+  kept.reserve(candidates.size());
+  for (auto m : candidates)
+    if (substrate_->selectable(m, time)) kept.push_back(m);
+  return kept;
+}
+
 void SchedulingLoop::seed_queue() {
+  // Availability traces drive themselves: each worker's next transition is
+  // scheduled on pop, so the queue holds at most one substrate event per
+  // worker. A static substrate has no transitions and schedules nothing.
+  if (realism_) {
+    for (std::size_t i = 0; i < driver_.num_workers(); ++i) {
+      const double t = substrate_->next_transition(i, 0.0);
+      if (t >= 0.0) queue_.schedule(t, kEvSubstrate, i);
+    }
+  }
   switch (trigger_) {
     case TriggerKind::kRoundBarrier:
       start_sync_cycle();
@@ -91,13 +114,22 @@ void SchedulingLoop::seed_queue() {
       // Round 0 submits training one cohort at a time (each batch carries
       // its own aggregation deadline) but schedules the READY events in
       // global worker order — the seed schedule of Alg. 1 lines 5-8.
+      // Time-varying substrate: only workers selectable at t = 0 join the
+      // first cycle; a cohort with nobody online waits for an availability
+      // event instead.
       for (std::size_t j = 0; j < cohorts_.size(); ++j) {
-        active_[j] = cohorts_[j];
-        driver_.begin_training(cohorts_[j], server_->global_model(),
-                               policy_.aggregate_time(*this, j, cohorts_[j], 0.0));
+        active_[j] = filter_selectable(cohorts_[j], 0.0);
+        if (realism_ && active_[j].empty()) {
+          idle_[j] = 1;
+          continue;
+        }
+        driver_.begin_training(active_[j], server_->global_model(),
+                               policy_.aggregate_time(*this, j, active_[j], 0.0));
       }
-      for (std::size_t i = 0; i < driver_.num_workers(); ++i)
+      for (std::size_t i = 0; i < driver_.num_workers(); ++i) {
+        if (realism_ && !substrate_->selectable(i, 0.0)) continue;
         queue_.schedule(local_times_[i], kEvReady, i);
+      }
       break;
     case TriggerKind::kReadyBuffer: {
       std::vector<std::size_t> everyone;
@@ -121,6 +153,8 @@ Metrics SchedulingLoop::run() {
     pending_hist_->record(static_cast<double>(queue_.size()));
     if (ev.kind == kEvReady) {
       on_ready(ev);
+    } else if (ev.kind == kEvSubstrate) {
+      on_substrate(ev);
     } else if (!on_aggregate(ev)) {
       break;
     }
@@ -154,6 +188,15 @@ void SchedulingLoop::start_sync_cycle() {
     ++cycle_;
     auto members = sample_cohort(policy_.select(*this, 0, cycle_), cycle_, 0);
     if (members.empty()) continue;  // selection skip: next round, no time passes
+    if (realism_) {
+      members = filter_selectable(std::move(members), queue_.now());
+      if (members.empty()) {
+        // Nobody online: retry this same round once availability returns.
+        --cycle_;
+        idle_[0] = 1;
+        return;
+      }
+    }
     const double t_agg = policy_.aggregate_time(*this, 0, members, queue_.now());
     if (t_agg > cfg.time_budget) return;  // round would overrun: end of run
     latency_hist_->record(t_agg - queue_.now());
@@ -169,6 +212,13 @@ void SchedulingLoop::start_timer_cycle(std::size_t cohort, double start) {
       sample_cohort(policy_.select(*this, cohort, server_->round() + 1), server_->round() + 1,
                     cohort);
   if (members.empty()) return;  // cohort retires: no further events for it
+  if (realism_) {
+    members = filter_selectable(std::move(members), start);
+    if (members.empty()) {  // cohort waits for an availability event
+      idle_[cohort] = 1;
+      return;
+    }
+  }
   const double t_agg = policy_.aggregate_time(*this, cohort, members, start);
   latency_hist_->record(t_agg - start);
   active_[cohort] = std::move(members);
@@ -177,21 +227,31 @@ void SchedulingLoop::start_timer_cycle(std::size_t cohort, double start) {
 }
 
 void SchedulingLoop::start_ready_cycle(std::size_t cohort, double start) {
-  active_[cohort] = cohorts_[cohort];
-  const double t_agg = policy_.aggregate_time(*this, cohort, cohorts_[cohort], start);
+  active_[cohort] = filter_selectable(cohorts_[cohort], start);
+  if (realism_ && active_[cohort].empty()) {  // wait for an availability event
+    idle_[cohort] = 1;
+    return;
+  }
+  const double t_agg = policy_.aggregate_time(*this, cohort, active_[cohort], start);
   latency_hist_->record(t_agg - start);
-  driver_.begin_training(cohorts_[cohort], server_->global_model(), t_agg);
-  for (auto m : cohorts_[cohort]) queue_.schedule(start + local_times_[m], kEvReady, m);
+  driver_.begin_training(active_[cohort], server_->global_model(), t_agg);
+  for (auto m : active_[cohort]) queue_.schedule(start + local_times_[m], kEvReady, m);
 }
 
 void SchedulingLoop::start_buffer_cycle(const std::vector<std::size_t>& members, double start) {
   for (auto m : members) {
+    if (realism_ && !substrate_->selectable(m, start)) {
+      // The worker sits out until its availability event restarts it
+      // (buffer cohorts are singletons, so the idle slot is the worker's).
+      idle_[cohort_of_[m]] = 1;
+      continue;
+    }
     const std::vector<std::size_t> solo{m};
     const double t_ready = start + local_times_[m];
     // The flush time is unknowable here (it depends on the rest of the
     // buffer), so the deadline tag is the earliest it could be: the
     // worker's own READY plus one upload.
-    const double deadline = t_ready + policy_.upload_seconds(*this, solo);
+    const double deadline = t_ready + policy_.upload_seconds(*this, solo, t_ready);
     latency_hist_->record(deadline - start);
     driver_.begin_training(solo, server_->global_model(), deadline);
     queue_.schedule(t_ready, kEvReady, m);
@@ -203,15 +263,18 @@ void SchedulingLoop::on_ready(const sim::Event& ev) {
     const std::size_t j = cohort_of_[ev.actor];
     // Intra-group alignment: EXECUTE goes out when the last member
     // reports READY; the concurrent transmission then takes one upload.
-    if (server_->ready(j, cohorts_[j].size()))
-      queue_.schedule(ev.time + policy_.upload_seconds(*this, cohorts_[j]), kEvAggregate, j);
+    // (active_[j] == cohorts_[j] on a static substrate; under churn it is
+    // the subset that joined this cycle.)
+    if (server_->ready(j, active_[j].size()))
+      queue_.schedule(ev.time + policy_.upload_seconds(*this, active_[j], ev.time),
+                      kEvAggregate, j);
     return;
   }
   // kReadyBuffer: queue the upload and let the policy decide whether the
   // buffer ships as one aggregation now.
   buffer_.push_back(ev.actor);
   if (policy_.should_flush(*this, buffer_)) {
-    const double t_agg = ev.time + policy_.upload_seconds(*this, buffer_);
+    const double t_agg = ev.time + policy_.upload_seconds(*this, buffer_, ev.time);
     flights_.push_back(std::move(buffer_));
     buffer_.clear();
     queue_.schedule(t_agg, kEvAggregate, flights_.size() - 1);
@@ -229,10 +292,46 @@ bool SchedulingLoop::on_aggregate(const sim::Event& ev) {
   // reading their local models; every other cohort keeps training.
   driver_.finish_training(members);
 
+  // Mid-round dropout (time-varying substrate): a member that went offline
+  // between starting its cycle and this aggregation event contributes
+  // nothing. Depletion is not re-checked here — the energy this very
+  // aggregation costs is charged inside it and gates the *next* cycle.
+  const std::vector<std::size_t>* agg = &members;
+  std::vector<std::size_t> kept;
+  if (realism_) {
+    kept.reserve(members.size());
+    for (auto m : members)
+      if (substrate_->available(m, ev.time)) kept.push_back(m);
+    dropouts_->add(members.size() - kept.size());
+    agg = &kept;
+    if (kept.empty()) {
+      // Everyone dropped: abandon the aggregation (no commit, no record)
+      // and restart the cycle — offline members idle until their
+      // availability event.
+      if (trigger_ == TriggerKind::kGroupReady) server_->reset_ready(ev.actor);
+      driver_.release_workers(members);
+      switch (trigger_) {
+        case TriggerKind::kRoundBarrier:
+          start_sync_cycle();
+          break;
+        case TriggerKind::kCohortTimer:
+          start_timer_cycle(ev.actor, ev.time);
+          break;
+        case TriggerKind::kGroupReady:
+          start_ready_cycle(ev.actor, ev.time);
+          break;
+        case TriggerKind::kReadyBuffer:
+          start_buffer_cycle(members, ev.time);
+          break;
+      }
+      return true;
+    }
+  }
+
   double tau = 0.0;
   if (buffered) {
     std::size_t worst = 0;
-    for (auto m : members) worst = std::max(worst, server_->staleness(cohort_of_[m]));
+    for (auto m : *agg) worst = std::max(worst, server_->staleness(cohort_of_[m]));
     tau = static_cast<double>(worst);
   } else if (trigger_ != TriggerKind::kRoundBarrier) {
     tau = static_cast<double>(server_->staleness(ev.actor));
@@ -244,13 +343,13 @@ bool SchedulingLoop::on_aggregate(const sim::Event& ev) {
   const std::size_t round =
       trigger_ == TriggerKind::kRoundBarrier ? cycle_ : server_->round() + 1;
 
-  auto w_next = policy_.aggregate(*this, members, server_->global_model(), round);
+  auto w_next = policy_.aggregate(*this, *agg, server_->global_model(), round);
   policy_.reweight(*this, server_->global_model(), w_next, tau);
 
   if (buffered) {
     std::vector<std::size_t> groups;
-    groups.reserve(members.size());
-    for (auto m : members) groups.push_back(cohort_of_[m]);
+    groups.reserve(agg->size());
+    for (auto m : *agg) groups.push_back(cohort_of_[m]);
     server_->complete_round(groups, std::move(w_next));
   } else {
     server_->complete_round(ev.actor, std::move(w_next));
@@ -280,6 +379,34 @@ bool SchedulingLoop::on_aggregate(const sim::Event& ev) {
       break;
   }
   return true;
+}
+
+void SchedulingLoop::on_substrate(const sim::Event& ev) {
+  // Self-perpetuating trace: schedule this worker's next toggle, so the
+  // queue carries at most one substrate event per worker at a time.
+  const double next = substrate_->next_transition(ev.actor, ev.time);
+  if (next >= 0.0) queue_.schedule(next, kEvSubstrate, ev.actor);
+  if (!substrate_->selectable(ev.actor, ev.time)) return;
+  // The worker just came online; wake its cohort if it was stranded with
+  // no selectable member at its last cycle start.
+  const std::size_t j =
+      trigger_ == TriggerKind::kRoundBarrier ? 0 : cohort_of_[ev.actor];
+  if (!idle_[j]) return;
+  idle_[j] = 0;
+  switch (trigger_) {
+    case TriggerKind::kRoundBarrier:
+      start_sync_cycle();
+      break;
+    case TriggerKind::kCohortTimer:
+      start_timer_cycle(j, ev.time);
+      break;
+    case TriggerKind::kGroupReady:
+      start_ready_cycle(j, ev.time);
+      break;
+    case TriggerKind::kReadyBuffer:
+      start_buffer_cycle({ev.actor}, ev.time);
+      break;
+  }
 }
 
 }  // namespace airfedga::fl

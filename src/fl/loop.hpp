@@ -90,9 +90,11 @@ class Mechanism {
   [[nodiscard]] virtual TriggerKind trigger() const = 0;
 
   /// Upload duration for one aggregation over `members` (serialized OMA
-  /// transfers or one concurrent AirComp transmission).
+  /// transfers or one concurrent AirComp transmission), queried from the
+  /// substrate at the virtual time `now` the upload starts.
   [[nodiscard]] virtual double upload_seconds(const SchedulingLoop& loop,
-                                              const std::vector<std::size_t>& members) const = 0;
+                                              const std::vector<std::size_t>& members,
+                                              double now) const = 0;
 
   /// Virtual time at which a cycle of `cohort` starting at `start` will
   /// aggregate; doubles as the deadline tag handed to the lane scheduler
@@ -169,6 +171,7 @@ class SchedulingLoop {
  private:
   static constexpr int kEvReady = 0;      ///< a worker finished local training
   static constexpr int kEvAggregate = 1;  ///< an aggregation upload completes
+  static constexpr int kEvSubstrate = 2;  ///< a worker's availability toggles
 
   void seed_queue();
   // Deterministic per-(round, cohort) subsampling down to
@@ -184,6 +187,11 @@ class SchedulingLoop {
   void start_buffer_cycle(const std::vector<std::size_t>& members, double start);
   void on_ready(const sim::Event& ev);
   bool on_aggregate(const sim::Event& ev);  ///< false = stop the run
+  void on_substrate(const sim::Event& ev);
+  // Members of `candidates` that are online and not energy-depleted at
+  // virtual `time`; returns `candidates` untouched on a static substrate.
+  std::vector<std::size_t> filter_selectable(std::vector<std::size_t> candidates,
+                                             double time) const;
 
   Driver& driver_;
   Mechanism& policy_;
@@ -204,11 +212,21 @@ class SchedulingLoop {
   /// kReadyBuffer: flushed buffers by in-flight aggregation event actor.
   std::vector<std::vector<std::size_t>> flights_;
   double energy_ = 0.0;
+  /// The run's substrate and whether it varies over time. With a static
+  /// substrate every realism branch below is dead and the loop replays the
+  /// classic event sequence exactly.
+  sim::Substrate* substrate_ = nullptr;
+  bool realism_ = false;
+  /// Cohorts whose last cycle start found no selectable member: they wait
+  /// for a kEvSubstrate availability event instead of spinning or retiring
+  /// (kRoundBarrier uses slot 0; kReadyBuffer's cohorts are singletons).
+  std::vector<char> idle_;
   /// Observability instruments, resolved once from the driver's registry
   /// (updates are then lock-free). Both record *virtual*-time quantities,
   /// so their contents are deterministic for a given scenario.
   obs::Histogram* pending_hist_ = nullptr;  ///< eventq.pending depth at each pop
   obs::Histogram* latency_hist_ = nullptr;  ///< per-TriggerKind aggregation latency
+  obs::Counter* dropouts_ = nullptr;        ///< substrate.dropouts (mid-round losses)
 };
 
 }  // namespace airfedga::fl

@@ -57,7 +57,8 @@ class FedAvg : public Mechanism {
   data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kRoundBarrier; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
                                std::span<const float> w_prev, std::size_t round) override;
 };
@@ -72,7 +73,8 @@ class AirFedAvg : public Mechanism {
   data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kRoundBarrier; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
                                std::span<const float> w_prev, std::size_t round) override;
 };
@@ -95,7 +97,8 @@ class DynamicAirComp : public Mechanism {
                                   std::size_t round) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kRoundBarrier; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
                                std::span<const float> w_prev, std::size_t round) override;
 
@@ -114,7 +117,8 @@ class TiFL : public Mechanism {
   data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kCohortTimer; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
                                std::span<const float> w_prev, std::size_t round) override;
 
@@ -142,7 +146,8 @@ class FedAsync : public Mechanism {
   data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kCohortTimer; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   [[nodiscard]] double aggregate_time(const SchedulingLoop& loop, std::size_t cohort,
                                       const std::vector<std::size_t>& members,
                                       double start) const override;
@@ -168,7 +173,8 @@ class AirFedGA : public Mechanism {
   data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kGroupReady; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
                                std::span<const float> w_prev, std::size_t round) override;
   void reweight(const SchedulingLoop& loop, std::span<const float> w_prev,
@@ -205,7 +211,8 @@ class SemiAsync : public Mechanism {
   data::WorkerGroups make_cohorts(SchedulingLoop& loop) override;
   [[nodiscard]] TriggerKind trigger() const override { return TriggerKind::kReadyBuffer; }
   [[nodiscard]] double upload_seconds(const SchedulingLoop& loop,
-                                      const std::vector<std::size_t>& members) const override;
+                                      const std::vector<std::size_t>& members,
+                                      double now) const override;
   bool should_flush(SchedulingLoop& loop, const std::vector<std::size_t>& buffered) override;
   std::vector<float> aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,
                                std::span<const float> w_prev, std::size_t round) override;

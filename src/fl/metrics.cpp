@@ -68,6 +68,12 @@ double Metrics::final_accuracy() const { return points_.empty() ? 0.0 : points_.
 double Metrics::final_loss() const { return points_.empty() ? 0.0 : points_.back().loss; }
 double Metrics::total_time() const { return points_.empty() ? 0.0 : points_.back().time; }
 double Metrics::total_energy() const { return points_.empty() ? 0.0 : points_.back().energy; }
+
+double Metrics::obs_total_energy() const {
+  for (const auto& h : obs_snapshot_.histograms)
+    if (h.name == "substrate.energy_j") return h.sum;
+  return total_energy();
+}
 std::size_t Metrics::total_rounds() const { return points_.empty() ? 0 : points_.back().round; }
 
 double Metrics::average_round_time() const {

@@ -62,6 +62,13 @@ class Metrics {
   [[nodiscard]] double total_energy() const;
   [[nodiscard]] std::size_t total_rounds() const;
 
+  /// Total transmit energy as the run's obs registry recorded it: the sum
+  /// of the "substrate.energy_j" histogram (one sample per Eq. 7 per-worker
+  /// transmit energy, accumulated on the simulation thread in event order,
+  /// so it equals total_energy() bit for bit). Falls back to the metric
+  /// series when the snapshot lacks the instrument (hand-built Metrics).
+  [[nodiscard]] double obs_total_energy() const;
+
   /// Mean virtual time between consecutive recorded rounds (Fig. 10 left).
   [[nodiscard]] double average_round_time() const;
 

@@ -25,10 +25,11 @@ data::WorkerGroups SemiAsync::make_cohorts(SchedulingLoop& loop) {
 }
 
 double SemiAsync::upload_seconds(const SchedulingLoop& loop,
-                                 const std::vector<std::size_t>& /*members*/) const {
+                                 const std::vector<std::size_t>& /*members*/,
+                                 double now) const {
   // The buffered cohort transmits concurrently over the air (one L_u per
   // flush, regardless of how many uploads it carries).
-  return loop.driver().latency().aircomp_upload_seconds(loop.driver().model_dim());
+  return loop.driver().substrate().aircomp_upload_seconds(loop.driver().model_dim(), now);
 }
 
 bool SemiAsync::should_flush(SchedulingLoop& loop, const std::vector<std::size_t>& buffered) {

@@ -19,6 +19,11 @@ bool ParameterServer::ready(std::size_t group, std::size_t group_size) {
   return ready_[group] == group_size;
 }
 
+void ParameterServer::reset_ready(std::size_t group) {
+  if (group >= ready_.size()) throw std::out_of_range("ParameterServer::reset_ready: bad group");
+  ready_[group] = 0;
+}
+
 std::size_t ParameterServer::staleness(std::size_t group) const {
   const std::size_t base = base_.at(group);
   // This aggregation becomes round t = round_ + 1; tau = (t-1) - base.

@@ -27,6 +27,11 @@ class ParameterServer {
 
   [[nodiscard]] std::size_t ready_count(std::size_t group) const { return ready_.at(group); }
 
+  /// Clears `group`'s READY counter without committing a round: the
+  /// scheduling loop abandons an aggregation whose members all dropped out
+  /// mid-round (time-varying substrate) and restarts the cycle.
+  void reset_ready(std::size_t group);
+
   /// The global round at which `group` last received the model (0 = w_0).
   [[nodiscard]] std::size_t base_version(std::size_t group) const { return base_.at(group); }
 

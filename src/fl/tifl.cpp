@@ -14,10 +14,11 @@ data::WorkerGroups TiFL::make_cohorts(SchedulingLoop& loop) {
 }
 
 double TiFL::upload_seconds(const SchedulingLoop& loop,
-                            const std::vector<std::size_t>& members) const {
+                            const std::vector<std::size_t>& members, double now) const {
   // The tier's serialized OMA uploads (Eq. 34 with the OMA upload term
   // instead of L_u).
-  return loop.driver().latency().oma_upload_seconds(loop.driver().model_dim(), members.size());
+  return loop.driver().substrate().oma_upload_seconds(loop.driver().model_dim(), members.size(),
+                                                      now);
 }
 
 std::vector<float> TiFL::aggregate(SchedulingLoop& loop, const std::vector<std::size_t>& members,

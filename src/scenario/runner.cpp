@@ -276,7 +276,7 @@ Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
   rec.set("virtual_seconds", m.total_time());
   rec.set("final_accuracy", m.final_accuracy());
   rec.set("final_loss", m.final_loss());
-  rec.set("total_energy_joules", m.total_energy());
+  rec.set("total_energy_joules", m.obs_total_energy());
   rec.set("average_round_seconds", m.average_round_time());
   rec.set("max_staleness", m.max_staleness());
   if (opts.timing) rec.set("wall_seconds", run.wall_seconds);
@@ -411,7 +411,7 @@ void write_results(const std::string& out_dir, const std::vector<ScenarioResult>
                                       util::Table::fmt(run.metrics.total_time(), 0),
                                       util::Table::fmt(run.metrics.final_accuracy(), 4),
                                       util::Table::fmt(run.metrics.final_loss(), 4),
-                                      util::Table::fmt(run.metrics.total_energy(), 0)};
+                                      util::Table::fmt(run.metrics.obs_total_energy(), 0)};
       if (opts.timing) row.push_back(util::Table::fmt(run.wall_seconds, 2));
       summary.add_row(std::move(row));
     }

@@ -9,6 +9,7 @@
 #include "ml/activation.hpp"
 #include "ml/dense.hpp"
 #include "ml/zoo.hpp"
+#include "sim/substrate.hpp"
 
 namespace airfedga::scenario {
 
@@ -249,6 +250,30 @@ Json ScenarioSpec::to_json() const {
   ac.set("sigma0_sq", aircomp.sigma0_sq);
   j.set("aircomp", std::move(ac));
 
+  {
+    // Which knob pairs apply depends on the kind, mirroring ModelSpec. An
+    // unparseable kind (validate() rejects it later) serializes every knob
+    // so nothing is lost across a dump/reload of the bad spec.
+    sim::SubstrateOptions opts;
+    try {
+      sim::set_substrate_kind(opts, substrate.kind);
+    } catch (const std::invalid_argument&) {
+      opts.churn = opts.energy = opts.csi_error = true;
+    }
+    Json su = Json::object();
+    su.set("kind", substrate.kind);
+    if (opts.churn) {
+      su.set("churn_period", substrate.churn_period);
+      su.set("churn_on_fraction", substrate.churn_on_fraction);
+    }
+    if (opts.energy) {
+      su.set("energy_budget", substrate.energy_budget);
+      su.set("energy_oma_upload", substrate.energy_oma_upload);
+    }
+    if (opts.csi_error) su.set("csi_error_std", substrate.csi_error_std);
+    j.set("substrate", std::move(su));
+  }
+
   j.set("energy_cap", energy_cap);
 
   Json ru = Json::object();
@@ -371,6 +396,17 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     Reader a = sub(r, "aircomp");
     a.number("sigma0_sq", s.aircomp.sigma0_sq);
     a.finish();
+  }
+
+  if (j.contains("substrate")) {
+    Reader su = sub(r, "substrate");
+    su.str("kind", s.substrate.kind);
+    su.number("churn_period", s.substrate.churn_period);
+    su.number("churn_on_fraction", s.substrate.churn_on_fraction);
+    su.number("energy_budget", s.substrate.energy_budget);
+    su.number("energy_oma_upload", s.substrate.energy_oma_upload);
+    su.number("csi_error_std", s.substrate.csi_error_std);
+    su.finish();
   }
 
   r.number("energy_cap", s.energy_cap);
@@ -517,6 +553,25 @@ void ScenarioSpec::validate() const {
     bad("fading.distance_min/distance_max: need 0 < distance_min <= distance_max");
 
   if (aircomp.sigma0_sq < 0.0) bad("aircomp.sigma0_sq: must be >= 0");
+
+  {
+    sim::SubstrateOptions opts;
+    try {
+      sim::set_substrate_kind(opts, substrate.kind);
+    } catch (const std::invalid_argument& e) {
+      bad(std::string("substrate.kind: ") + e.what());
+    }
+    if (opts.churn && substrate.churn_period <= 0.0) bad("substrate.churn_period: must be > 0");
+    if (opts.churn && (substrate.churn_on_fraction <= 0.0 || substrate.churn_on_fraction > 1.0))
+      bad("substrate.churn_on_fraction: must be in (0, 1]");
+    if (opts.energy && substrate.energy_budget <= 0.0)
+      bad("substrate.energy_budget: must be > 0");
+    if (opts.energy && substrate.energy_oma_upload < 0.0)
+      bad("substrate.energy_oma_upload: must be >= 0");
+    if (opts.csi_error && substrate.csi_error_std < 0.0)
+      bad("substrate.csi_error_std: must be >= 0");
+  }
+
   if (energy_cap <= 0.0) bad("energy_cap: must be > 0");
 
   if (time_budget <= 0.0) bad("run.time_budget: must be > 0");
@@ -665,6 +720,12 @@ BuiltScenario build(const ScenarioSpec& spec) {
   cfg.fading = spec.fading;
   cfg.fading.seed = spec.seed + 2;
   cfg.aircomp = spec.aircomp;
+  sim::set_substrate_kind(cfg.substrate, spec.substrate.kind);
+  cfg.substrate.churn_period = spec.substrate.churn_period;
+  cfg.substrate.churn_on_fraction = spec.substrate.churn_on_fraction;
+  cfg.substrate.energy_budget = spec.substrate.energy_budget;
+  cfg.substrate.energy_oma_upload = spec.substrate.energy_oma_upload;
+  cfg.substrate.csi_error_std = spec.substrate.csi_error_std;
   cfg.energy_cap = spec.energy_cap;
 
   cfg.time_budget = spec.time_budget;

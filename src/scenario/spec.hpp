@@ -48,6 +48,20 @@ struct PartitionSpec {
   std::size_t shards = 0;
 };
 
+/// Which device-realism generators the run's sim::Substrate composes on
+/// top of the static fading/latency substrate. Knob pairs irrelevant to
+/// the kind are ignored by build and omitted from to_json.
+struct SubstrateSpec {
+  /// "static" or a '+'-joined combination of churn | energy | csi_error
+  /// (e.g. "churn+energy+csi_error").
+  std::string kind = "static";
+  double churn_period = 400.0;     ///< churn: diurnal on/off cycle length (virtual s)
+  double churn_on_fraction = 0.7;  ///< churn: fraction of each cycle a worker is online
+  double energy_budget = 50.0;     ///< energy: per-worker transmit budget (J)
+  double energy_oma_upload = 1.0;  ///< energy: flat J charged per OMA upload
+  double csi_error_std = 0.1;      ///< csi_error: std of the multiplicative estimate noise
+};
+
 /// One mechanism to run, with its tuning knobs. Knobs irrelevant to a kind
 /// are ignored by build and omitted from to_json. Construction is
 /// table-driven: the spec lowers to one uniform fl::MechanismConfig and the
@@ -108,6 +122,7 @@ struct ScenarioSpec {
   channel::LatencyConfig latency;
   channel::FadingChannel::Config fading;
   channel::AirCompChannel::Config aircomp;
+  SubstrateSpec substrate;
   double energy_cap = 10.0;
 
   // Run control

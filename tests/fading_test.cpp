@@ -103,6 +103,53 @@ TEST(Fading, PathLossIsStaticAcrossRounds) {
   EXPECT_EQ(a.large_scale(), b.large_scale());
 }
 
+TEST(Fading, VanishingScaleCollapsesToTheMinGainFloor) {
+  // Zero-variance limit: as the Rayleigh scale vanishes every draw falls
+  // below the floor, so the channel degenerates to a constant min_gain —
+  // the distribution edge the power-control divisor must survive.
+  FadingChannel::Config cfg;
+  cfg.rayleigh_scale = 1e-12;
+  cfg.min_gain = 0.15;
+  FadingChannel ch(50, cfg);
+  for (std::size_t round = 0; round < 20; ++round)
+    for (double h : ch.gains(round)) EXPECT_DOUBLE_EQ(h, 0.15);
+}
+
+TEST(Fading, EqualDistancesGiveOneLargeScaleFactor) {
+  // Degenerate geometry: distance_min == distance_max pins every worker to
+  // the same path-loss factor d^(-alpha/2), with fading still varying.
+  FadingChannel::Config cfg;
+  cfg.pathloss_exponent = 2.0;
+  cfg.distance_min = 2.0;
+  cfg.distance_max = 2.0;
+  FadingChannel ch(20, cfg);
+  const double factor = std::pow(2.0, -1.0);
+  for (double s : ch.large_scale()) EXPECT_DOUBLE_EQ(s, factor);
+  EXPECT_NE(ch.gains(1), ch.gains(2));
+}
+
+TEST(Fading, SingleWorkerChannelIsWellFormed) {
+  // Single-worker cluster: one gain per round, still round-varying and
+  // deterministic — the smallest population the substrate can carry.
+  FadingChannel ch(1, {});
+  const auto a = ch.gains(0);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_GT(a[0], 0.0);
+  EXPECT_EQ(ch.gains(0), a);
+  EXPECT_NE(ch.gains(1), a);
+  EXPECT_DOUBLE_EQ(ch.gain(0, 0), a[0]);
+}
+
+TEST(Fading, ZeroMinGainKeepsDrawsPositive) {
+  // min_gain = 0 removes the floor; Rayleigh draws are still positive
+  // almost surely, so downstream 1/h stays finite.
+  FadingChannel::Config cfg;
+  cfg.min_gain = 0.0;
+  FadingChannel ch(100, cfg);
+  for (std::size_t round = 0; round < 20; ++round)
+    for (double h : ch.gains(round)) EXPECT_GT(h, 0.0);
+}
+
 TEST(Fading, PathLossValidation) {
   FadingChannel::Config bad;
   bad.pathloss_exponent = -1.0;

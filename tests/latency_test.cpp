@@ -44,6 +44,45 @@ TEST(Latency, AircompBeatsOmaAtScale) {
   EXPECT_GT(lm.oma_upload_seconds(q, 100), 100.0 * lm.aircomp_upload_seconds(q));
 }
 
+TEST(Latency, ZeroParametersCostNothing) {
+  // Degenerate payload: an empty model occupies zero symbols and zero OMA
+  // airtime — the ceil in Eq. 33 must not round 0 up to a full symbol.
+  LatencyModel lm{LatencyConfig{}};
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(lm.oma_upload_seconds(0, 5), 0.0);
+}
+
+TEST(Latency, AircompRoundingAtSubChannelBoundaries) {
+  LatencyConfig cfg;
+  cfg.sub_channels = 100;
+  cfg.symbol_seconds = 1.0;
+  LatencyModel lm(cfg);
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(99), 1.0);
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(100), 1.0);  // exact fit: no extra symbol
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(101), 2.0);
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(200), 2.0);
+}
+
+TEST(Latency, SingleSubChannelSerializesEveryParameter) {
+  // Degenerate bandwidth: one sub-channel means one parameter per symbol.
+  LatencyConfig cfg;
+  cfg.sub_channels = 1;
+  cfg.symbol_seconds = 2.0;
+  LatencyModel lm(cfg);
+  EXPECT_DOUBLE_EQ(lm.aircomp_upload_seconds(7), 14.0);
+}
+
+TEST(Latency, SingleWorkerOmaEqualsPerWorkerCost) {
+  // A single-member cluster pays exactly one serialized upload — the
+  // degenerate case the group-ready trigger hits when cohorts shrink to
+  // singletons under churn.
+  LatencyConfig cfg;
+  cfg.oma_rate_bps = 2e6;
+  cfg.bits_per_param = 16.0;
+  LatencyModel lm(cfg);
+  EXPECT_DOUBLE_EQ(lm.oma_upload_seconds(500, 1), 500.0 * 16.0 / 2e6);
+}
+
 TEST(Latency, Validation) {
   LatencyConfig bad;
   bad.sub_channels = 0;

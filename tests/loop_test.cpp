@@ -120,7 +120,7 @@ TEST(LoopPolicy, DynamicSelectionFollowsTheGainQuantile) {
     const auto selected = dyn.select(loop, 0, round);
     ASSERT_FALSE(selected.empty()) << "round " << round;
     // Exactly the workers whose gain this round clears the quantile.
-    const auto gains = driver.fading().gains(round);
+    const auto gains = driver.substrate().gains(round);
     const double cutoff = util::quantile(gains, 0.5);
     std::vector<std::size_t> expected;
     for (std::size_t i = 0; i < gains.size(); ++i)
@@ -144,7 +144,7 @@ TEST(LoopPolicy, DefaultAggregateTimeIsStartPlusComputePlusUpload) {
   const auto& members = loop.cohorts()[0];
   double slowest = 0.0;
   for (auto m : members) slowest = std::max(slowest, loop.local_times()[m]);
-  const double upload = fedavg.upload_seconds(loop, members);
+  const double upload = fedavg.upload_seconds(loop, members, 10.0);
   EXPECT_EQ(fedavg.aggregate_time(loop, 0, members, 10.0), 10.0 + (slowest + upload));
 }
 
@@ -154,7 +154,7 @@ TEST(LoopPolicy, FedAsyncAggregateTimeKeepsTheOriginalAssociation) {
   FedAsync fa;
   SchedulingLoop loop(driver, fa);
   const std::vector<std::size_t> members = {3};
-  const double upload = fa.upload_seconds(loop, members);
+  const double upload = fa.upload_seconds(loop, members, 10.0);
   // (start + l_i) + upload — the seed implementation's left-to-right
   // association, preserved bit for bit.
   EXPECT_EQ(fa.aggregate_time(loop, 3, members, 10.0), (10.0 + loop.local_times()[3]) + upload);
