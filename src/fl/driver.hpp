@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -113,8 +115,24 @@ struct FLConfig {
   /// — digests are bit-identical with tracing on or off.
   bool trace = false;
 
+  /// Optional cooperative cancellation token (execution-only, never part
+  /// of a scenario spec or its config_hash): when non-null and set, the
+  /// scheduling loop throws fl::RunCancelled at the next event boundary,
+  /// unwinding the run cleanly — the Driver joins its lanes on the way
+  /// out. The scenario farm's --variant-timeout watchdog and SIGINT
+  /// draining set this from another thread.
+  const std::atomic<bool>* cancel = nullptr;
+
   /// Throws std::invalid_argument on an unusable configuration.
   void validate() const;
+};
+
+/// Thrown by the scheduling loop when FLConfig::cancel trips. Callers that
+/// requested the cancellation (timeout watchdogs, shutdown paths) catch
+/// this type to tell an abandoned run from a genuine failure.
+class RunCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Shared runtime for one mechanism run: workers, scratch models, channel

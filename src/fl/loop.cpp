@@ -145,6 +145,10 @@ Metrics SchedulingLoop::run() {
   const FLConfig& cfg = driver_.config();
   seed_queue();
   while (!queue_.empty()) {
+    // Cooperative cancellation (execution-only): checked once per event so
+    // a timeout watchdog or shutdown can stop a run at a clean boundary.
+    if (cfg.cancel != nullptr && cfg.cancel->load(std::memory_order_relaxed))
+      throw RunCancelled("run cancelled at virtual t=" + std::to_string(queue_.now()));
     // Budget stop via lookahead: the event past the budget is never
     // popped, so the virtual clock stops where every mechanism's original
     // loop stopped.

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -130,10 +131,17 @@ void Metrics::write_csv(const std::string& path) const {
   if (!f)
     throw std::runtime_error("Metrics::write_csv: cannot open " + path +
                              " for writing (check permissions and that the parent is a directory)");
+  f << csv_string();
+  if (!f.flush()) throw std::runtime_error("Metrics::write_csv: write failed for " + path);
+}
+
+std::string Metrics::csv_string() const {
+  std::ostringstream f;
   f << "time,round,loss,accuracy,energy,staleness\n";
   for (const auto& p : points_)
     f << p.time << ',' << p.round << ',' << p.loss << ',' << p.accuracy << ',' << p.energy
       << ',' << p.staleness << '\n';
+  return f.str();
 }
 
 }  // namespace airfedga::fl

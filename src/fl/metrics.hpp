@@ -77,6 +77,11 @@ class Metrics {
 
   void write_csv(const std::string& path) const;
 
+  /// The exact bytes write_csv would produce, as a string — the scenario
+  /// farm stores this in its durable per-variant stash so a resumed
+  /// session re-emits identical points files without re-running.
+  [[nodiscard]] std::string csv_string() const;
+
   /// True iff every recorded point and the final model match `other`
   /// bit-for-bit (no tolerance). This is the execution engine's determinism
   /// contract — used by the thread-sweep bench and the determinism tests.

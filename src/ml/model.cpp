@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -181,6 +182,16 @@ std::vector<float> load_parameters(const std::string& path) {
   f.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!f || magic != kCheckpointMagic)
     throw std::runtime_error("load_parameters: not an airfedga checkpoint: " + path);
+  // Check the header's claim against the actual file size before trusting
+  // it: a truncated or corrupted count must fail with a clear error here,
+  // not as an enormous allocation or a short read below.
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  const std::uint64_t header = sizeof(magic) + sizeof(count);
+  if (ec || file_size < header || (file_size - header) / sizeof(float) != count ||
+      (file_size - header) % sizeof(float) != 0)
+    throw std::runtime_error("load_parameters: truncated or corrupt checkpoint (header claims " +
+                             std::to_string(count) + " floats): " + path);
   std::vector<float> params(count);
   f.read(reinterpret_cast<char*>(params.data()),
          static_cast<std::streamsize>(count * sizeof(float)));

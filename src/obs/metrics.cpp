@@ -52,4 +52,9 @@ MetricsSnapshot Registry::snapshot() const {
   return snap;
 }
 
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
 }  // namespace airfedga::obs

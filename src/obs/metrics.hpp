@@ -101,4 +101,11 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Process-wide registry for instrumentation that outlives any single run
+/// — the scenario farm's `farm.retries` / `farm.quarantined` /
+/// `farm.resumed_skips` counters live here. Per-run metrics belong in the
+/// owning Driver's registry instead, so they attribute to one mechanism
+/// execution.
+Registry& global_registry();
+
 }  // namespace airfedga::obs

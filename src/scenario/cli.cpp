@@ -86,6 +86,28 @@ RunArgs parse_run_args(const std::vector<std::string>& args) {
       out.append = true;
     } else if (arg == "--no-timing") {
       out.timing = false;
+    } else if (arg == "--resume") {
+      out.resume = true;
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      out.retries = parse_count(arg.substr(10), "--retries");
+    } else if (arg.rfind("--variant-timeout=", 0) == 0) {
+      out.variant_timeout = parse_positive_double(arg.substr(18), "--variant-timeout");
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      const std::string spec = arg.substr(8);
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size())
+        throw std::invalid_argument("--shard: expected i/N (e.g. --shard=2/4), got \"" + spec +
+                                    "\"");
+      out.shard_index = parse_count(spec.substr(0, slash), "--shard index");
+      out.shard_count = parse_count(spec.substr(slash + 1), "--shard count");
+      if (out.shard_count == 0 || out.shard_index == 0 || out.shard_index > out.shard_count)
+        throw std::invalid_argument("--shard: index must be in [1, N] with N >= 1, got \"" +
+                                    spec + "\"");
+    } else if (arg == "--no-progress") {
+      out.progress = false;
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      if (arg.size() == 8) throw std::invalid_argument("--fault: spec must not be empty");
+      out.faults.push_back(arg.substr(8));
     } else if (arg.rfind("--out=", 0) == 0) {
       out.out_dir = arg.substr(6);
       if (out.out_dir.empty()) throw std::invalid_argument("--out: directory must not be empty");
@@ -111,6 +133,10 @@ RunArgs parse_run_args(const std::vector<std::string>& args) {
       out.sources.push_back(arg);
     }
   }
+  if (out.resume && out.append)
+    throw std::invalid_argument(
+        "--resume cannot be combined with --append: the crash-safe farm owns the whole output "
+        "directory, while --append accumulates onto files it does not track");
   return out;
 }
 

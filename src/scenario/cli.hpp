@@ -50,13 +50,25 @@ struct RunArgs {
   /// traced run keeps the untraced run's config_hash and digests.
   bool trace = false;
   std::string trace_path;  ///< empty = <out_dir>/trace.json
+
+  // Crash-safe farm flags (docs/SCENARIOS.md "Crash-safe farm").
+  bool resume = false;            ///< --resume: skip durably-done variants
+  std::size_t retries = 0;        ///< --retries=K extra attempts per variant
+  double variant_timeout = 0.0;   ///< --variant-timeout=S wall seconds (0 = none)
+  std::size_t shard_index = 0;    ///< --shard=i/N (1-based; 0/0 = unsharded)
+  std::size_t shard_count = 0;
+  bool progress = true;           ///< cleared by --no-progress
+  std::vector<std::string> faults;  ///< --fault=SPEC (repeatable; armed by main)
 };
 
 /// Parses run/run-dir flags: --seed, --threads, --time-budget, --jobs,
-/// --append, --no-timing, --out, --trace[=PATH], and --sweep in both its
-/// one-token (--sweep=path=v1,v2) and two-token (--sweep path=v1,v2) forms.
-/// Positional arguments land in `sources` (count is validated by the
-/// command, not here). Unknown --flags are an error.
+/// --append, --no-timing, --out, --trace[=PATH], --sweep in both its
+/// one-token (--sweep=path=v1,v2) and two-token (--sweep path=v1,v2) forms,
+/// and the farm flags --resume, --retries=K, --variant-timeout=S,
+/// --shard=i/N, --no-progress, --fault=SPEC. Positional arguments land in
+/// `sources` (count is validated by the command, not here). Unknown --flags
+/// are an error, as is --resume together with --append (the farm owns the
+/// output directory; --append uses the accumulate-only legacy writer).
 RunArgs parse_run_args(const std::vector<std::string>& args);
 
 /// A study: one scenario spec plus the sweep axes checked in next to it.

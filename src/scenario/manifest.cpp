@@ -1,0 +1,176 @@
+#include "scenario/manifest.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/fault.hpp"
+
+namespace airfedga::scenario {
+
+namespace fs = std::filesystem;
+
+Json ManifestRecord::to_json() const {
+  Json j = Json::object();
+  j.set("m", kManifestVersion);
+  j.set("variant", variant);
+  j.set("hash", config_hash);
+  j.set("name", name);
+  j.set("state", state);
+  j.set("attempt", attempt);
+  if (!error.empty()) j.set("error", error);
+  return j;
+}
+
+ManifestRecord ManifestRecord::from_json(const Json& j) {
+  const int version = static_cast<int>(j.at("m").as_number());
+  if (version != kManifestVersion)
+    throw std::runtime_error("manifest: unsupported record version " + std::to_string(version));
+  ManifestRecord rec;
+  rec.variant = static_cast<std::size_t>(j.at("variant").as_number());
+  rec.config_hash = j.at("hash").as_string();
+  rec.name = j.at("name").as_string();
+  rec.state = j.at("state").as_string();
+  rec.attempt = static_cast<std::size_t>(j.at("attempt").as_number());
+  if (const Json* e = j.find("error")) rec.error = e->as_string();
+  if (rec.state != "running" && rec.state != "done" && rec.state != "failed")
+    throw std::runtime_error("manifest: unknown state \"" + rec.state + "\"");
+  return rec;
+}
+
+Manifest::Manifest(Manifest&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      records_(std::move(other.records_)),
+      truncated_bytes_(other.truncated_bytes_) {}
+
+Manifest& Manifest::operator=(Manifest&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    records_ = std::move(other.records_);
+    truncated_bytes_ = other.truncated_bytes_;
+  }
+  return *this;
+}
+
+Manifest::~Manifest() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Manifest::path_in(const std::string& out_dir) {
+  return (fs::path(out_dir) / "manifest.jsonl").string();
+}
+
+Manifest Manifest::open(const std::string& out_dir) {
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec)
+    throw std::runtime_error("manifest: cannot create directory " + out_dir + ": " +
+                             ec.message());
+
+  Manifest m;
+  m.path_ = path_in(out_dir);
+
+  // Recovery pass: load every complete record; a torn trailing write (the
+  // one write a crash can interrupt) is cut off so the file ends at a
+  // record boundary again.
+  std::string text;
+  {
+    std::ifstream in(m.path_, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+  }
+  std::size_t good_end = 0;  // byte offset just past the last intact record
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated tail: torn
+    const std::string line = text.substr(pos, nl - pos);
+    ManifestRecord rec;
+    bool ok = true;
+    try {
+      rec = ManifestRecord::from_json(Json::parse(line));
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (!ok) {
+      // Only the *last* line may be damaged by a crash; garbage in the
+      // middle means the file was edited or the disk corrupted — refuse
+      // to guess.
+      if (text.find('\n', nl + 1) != std::string::npos || nl + 1 < text.size())
+        throw std::runtime_error("manifest: corrupt non-trailing record in " + m.path_);
+      break;
+    }
+    m.records_.push_back(std::move(rec));
+    good_end = nl + 1;
+    pos = nl + 1;
+  }
+  if (good_end < text.size()) {
+    m.truncated_bytes_ = text.size() - good_end;
+    fs::resize_file(m.path_, good_end, ec);
+    if (ec)
+      throw std::runtime_error("manifest: cannot truncate torn tail of " + m.path_ + ": " +
+                               ec.message());
+  }
+
+  m.fd_ = ::open(m.path_.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (m.fd_ < 0)
+    throw std::runtime_error("manifest: cannot open " + m.path_ + ": " +
+                             std::string(std::strerror(errno)));
+  return m;
+}
+
+namespace {
+void write_all(int fd, const char* data, std::size_t n, const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ::ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("manifest: write failed for " + path + ": " +
+                               std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+}  // namespace
+
+void Manifest::append(const ManifestRecord& rec) {
+  const std::string line = rec.to_json().dump() + "\n";
+  // Normally one atomic write(2); with the fault layer armed the record is
+  // split around the mid_write:manifest point so a kill there leaves a
+  // genuinely torn trailing write for the recovery pass to find.
+  std::size_t split = line.size();
+  if (util::fault::any_armed()) split = line.size() / 2;
+  write_all(fd_, line.data(), split, path_);
+  if (split < line.size()) {
+    ::fsync(fd_);
+    util::fault::hit("mid_write", "manifest");
+    write_all(fd_, line.data() + split, line.size() - split, path_);
+  }
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("manifest: fsync failed for " + path_ + ": " +
+                             std::string(std::strerror(errno)));
+  records_.push_back(rec);
+}
+
+std::string Manifest::state_of(std::size_t variant, const std::string& hash) const {
+  std::string state;
+  for (const auto& rec : records_)
+    if (rec.variant == variant && rec.config_hash == hash) state = rec.state;
+  return state;
+}
+
+}  // namespace airfedga::scenario

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/json.hpp"
+
+namespace airfedga::scenario {
+
+/// Version stamped on every manifest record (`"m"` key). Bump on any
+/// field-layout change and document it in docs/SCENARIOS.md.
+inline constexpr int kManifestVersion = 1;
+
+/// One variant state transition in the farm's durable run manifest. A
+/// variant is keyed by its index in the deterministic variant order plus
+/// its config_hash, so a resumed session can tell a completed variant from
+/// a stale record of an edited study.
+struct ManifestRecord {
+  std::size_t variant = 0;   ///< index in the deterministic variant order
+  std::string config_hash;   ///< scenario::config_hash of the variant spec
+  std::string name;          ///< variant display name (diagnostics only)
+  std::string state;         ///< "running" | "done" | "failed"
+  std::size_t attempt = 0;   ///< 1-based attempt number of this transition
+  std::string error;         ///< failure reason ("failed" records only)
+
+  [[nodiscard]] Json to_json() const;
+  static ManifestRecord from_json(const Json& j);
+};
+
+/// Append-only, crash-safe journal of variant state transitions
+/// (`manifest.jsonl` in the study's out-dir). Each append is one complete
+/// JSON line written with a single write(2) on an O_APPEND descriptor and
+/// fsync'd before the call returns, so a record either exists completely
+/// or not at all — except for the one write a crash can tear, which the
+/// recovery pass in open() detects and truncates off.
+class Manifest {
+ public:
+  Manifest() = default;
+  Manifest(Manifest&& other) noexcept;
+  Manifest& operator=(Manifest&& other) noexcept;
+  Manifest(const Manifest&) = delete;
+  Manifest& operator=(const Manifest&) = delete;
+  ~Manifest();
+
+  /// Path of the manifest inside `out_dir`.
+  static std::string path_in(const std::string& out_dir);
+
+  /// Opens (creating `out_dir` and the file as needed) for appends after a
+  /// recovery pass: every complete record is loaded into records(); a torn
+  /// trailing write — an unterminated or unparseable *last* line — is
+  /// truncated away (truncated_bytes() reports how much). A malformed line
+  /// that is not the trailing one means real corruption, not a crash, and
+  /// throws std::runtime_error.
+  static Manifest open(const std::string& out_dir);
+
+  /// Appends one record durably (atomic single write + fsync) and mirrors
+  /// it into records().
+  void append(const ManifestRecord& rec);
+
+  /// Records recovered by open() plus those appended since, in file order.
+  [[nodiscard]] const std::vector<ManifestRecord>& records() const { return records_; }
+
+  /// Bytes the recovery pass cut from a torn trailing write (0 = clean).
+  [[nodiscard]] std::size_t truncated_bytes() const { return truncated_bytes_; }
+
+  /// Final recorded state of (variant, hash): the last matching record's
+  /// state, or "" when the manifest never saw that variant — a `running`
+  /// without a later `done`/`failed` reads as "running", i.e. crashed
+  /// mid-variant, and the farm re-runs it.
+  [[nodiscard]] std::string state_of(std::size_t variant, const std::string& hash) const;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::vector<ManifestRecord> records_;
+  std::size_t truncated_bytes_ = 0;
+};
+
+}  // namespace airfedga::scenario

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,8 +67,12 @@ struct ScenarioResult {
 /// bit-deterministic for every lane count, the override never changes the
 /// metrics — only wall time — so the recorded `spec.threads` stays the
 /// configured value and result files stay byte-stable across job counts.
+///
+/// `cancel` (when non-null) is handed to the engine as FLConfig::cancel: a
+/// set token makes the run throw fl::RunCancelled at the next event.
 ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOverrides& ov = {},
-                            std::size_t lane_override = 0);
+                            std::size_t lane_override = 0,
+                            const std::atomic<bool>* cancel = nullptr);
 
 /// Determinism sweep: runs `spec` once per lane count in `threads` and
 /// checks every mechanism's metrics are bit-identical across lane counts
@@ -79,7 +85,8 @@ struct ThreadSweepResult {
 };
 ThreadSweepResult run_thread_sweep(const ScenarioSpec& spec,
                                    const std::vector<std::size_t>& threads,
-                                   const RunOverrides& ov = {});
+                                   const RunOverrides& ov = {},
+                                   const std::atomic<bool>* cancel = nullptr);
 
 /// How a batch of independent variants executes (`--jobs`).
 struct BatchRunOptions {
@@ -163,5 +170,105 @@ void write_results(const std::string& out_dir, const std::vector<ScenarioResult>
 Json result_record(const ScenarioResult& scenario, const MechanismResult& run,
                    const std::string& git, const std::string& points_csv,
                    const WriteOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Crash-safe scenario farm (docs/SCENARIOS.md "Crash-safe farm").
+//
+// run_farm is the durable sibling of run_scenarios + write_results: every
+// variant transition is journalled to out_dir/manifest.jsonl, every finished
+// variant's results are stashed durably under out_dir/farm/, and the final
+// results.jsonl / summary.csv / points/ are *assembled from the stashes* in
+// variant order. Because uninterrupted and resumed runs share that single
+// assembly path, a killed-and-resumed batch re-emits the output files
+// byte-identically (with WriteOptions::timing false; wall clocks vary).
+// ---------------------------------------------------------------------------
+
+/// Fate of one variant after a farm run.
+struct VariantStatus {
+  std::size_t variant = 0;       ///< index in the variant list
+  std::string name;              ///< spec name (after sweep expansion)
+  std::string hash;              ///< config_hash of the variant
+  enum class State {
+    kDone,           ///< completed (this run, any attempt)
+    kFailed,         ///< quarantined after 1 + retries attempts
+    kSkippedResume,  ///< --resume found a durable done stash; not re-run
+    kNotRun,         ///< never started, or abandoned on interrupt/shard
+  };
+  State state = State::kNotRun;
+  std::size_t attempts = 0;  ///< run attempts this session (0 when skipped)
+  std::string error;         ///< last error text for kFailed
+};
+
+/// Knobs of a farm run, superset of BatchRunOptions.
+struct FarmOptions {
+  std::size_t jobs = 1;         ///< variants in flight at once (see BatchRunOptions)
+  std::size_t lane_budget = 0;  ///< total lanes across in-flight variants
+  std::vector<std::size_t> threads;  ///< lane counts (see BatchRunOptions)
+  /// Extra attempts after a variant's first failure before it is
+  /// quarantined as failed (0 = fail fast on first error).
+  std::size_t retries = 0;
+  /// Wall-clock seconds a single attempt may run before the watchdog
+  /// cancels it (counts as a failed attempt). 0 = no timeout.
+  double variant_timeout = 0.0;
+  /// Exponential backoff between attempts: base * 2^(attempt-1), capped.
+  double backoff_base = 0.1;
+  double backoff_cap = 2.0;
+  /// Skip variants whose manifest state is done *and* whose stash is
+  /// intact; re-run everything else. false starts the farm fresh.
+  bool resume = false;
+  /// Shard i of N (1-based index, 0/0 = no sharding): this invocation only
+  /// runs variants with index % shard_count == shard_index - 1. The
+  /// resulting partial directories merge with merge_results.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 0;
+  /// Per-variant progress/ETA lines on stderr.
+  bool progress = false;
+  /// Invoked (serialized) after each variant settles — the CLI uses this
+  /// for progress lines; tests use it to trigger interrupts mid-batch.
+  std::function<void(const VariantStatus&)> on_status;
+};
+
+/// Outcome of run_farm.
+struct FarmResult {
+  std::vector<VariantStatus> statuses;  ///< one per variant, variant order
+  /// Final (patched) results.jsonl records in variant order — what the
+  /// assembled file contains, for the CLI summary table and tests.
+  std::vector<Json> records;
+  std::size_t completed = 0;      ///< done this session (excl. resume skips)
+  std::size_t failed = 0;         ///< quarantined variants
+  std::size_t resumed_skips = 0;  ///< variants satisfied by a prior session
+  std::size_t retries = 0;        ///< extra attempts spent across variants
+  bool all_identical = true;      ///< conjunction over determinism sweeps
+  /// True when the farm stopped early (farm_request_stop, e.g. SIGINT):
+  /// output files were NOT assembled; re-run with resume to finish.
+  bool interrupted = false;
+};
+
+/// Runs `variants` as a crash-safe farm rooted at `out_dir` (see the block
+/// comment above). Throws only on environmental errors (unwritable out_dir,
+/// corrupt manifest interior); per-variant failures are quarantined into
+/// FarmResult instead. `wo.append` is not supported (throws) — the farm owns
+/// the whole directory.
+FarmResult run_farm(const std::vector<ScenarioSpec>& variants, const std::string& out_dir,
+                    const RunOverrides& ov = {}, const FarmOptions& opt = {},
+                    const WriteOptions& wo = {});
+
+/// Merges the farm stashes of `shard_dirs` (each a run_farm out_dir, e.g.
+/// one per machine of a --shard=i/N sweep) into `out_dir`: stashes are
+/// unioned by variant index (identical duplicates allowed; conflicting
+/// hashes throw), a fresh manifest is journalled, and the output files are
+/// assembled exactly as an unsharded run would have. Returns the union's
+/// statuses/records; variants no shard completed stay kNotRun and make
+/// the merge report them (`interrupted` stays false; check statuses).
+FarmResult merge_results(const std::string& out_dir, const std::vector<std::string>& shard_dirs,
+                         const WriteOptions& wo = {});
+
+/// Async-signal-safe global stop flag for in-flight farms: request_stop
+/// makes every running variant cancel (fl::RunCancelled) and the farm
+/// return with `interrupted` set after journalling; safe to call from a
+/// signal handler. clear resets it (tests / repeated CLI invocations).
+void farm_request_stop() noexcept;
+bool farm_stop_requested() noexcept;
+void farm_clear_stop() noexcept;
 
 }  // namespace airfedga::scenario

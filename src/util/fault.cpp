@@ -1,0 +1,136 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace airfedga::util::fault {
+
+namespace {
+
+enum class Action { kKill, kThrow, kThrowOnce };
+
+struct Armed {
+  std::string point;
+  std::string detail;        ///< detail-match specs: the string to equal
+  std::size_t ordinal = 0;   ///< counted specs: 1-based hit number that fires
+  std::size_t hits = 0;      ///< counted specs: hits seen so far
+  Action action = Action::kKill;
+  bool spent = false;        ///< throw_once fired already
+};
+
+std::mutex g_mutex;
+std::vector<Armed> g_armed;
+std::atomic<bool> g_any{false};
+
+[[noreturn]] void kill_now() {
+  // std::_Exit skips atexit handlers, destructors, and stream flushes:
+  // whatever user-space buffering the victim had in flight is lost, which
+  // is exactly the torn state a real crash (OOM kill, power loss) leaves.
+  std::_Exit(kKillExitCode);
+}
+
+void fire(Armed& a) {
+  if (a.action == Action::kKill) kill_now();
+  if (a.action == Action::kThrowOnce) a.spent = true;
+  throw InjectedFault("injected fault at " + a.point +
+                      (a.detail.empty() ? "" : ":" + a.detail));
+}
+
+bool parse_ordinal(const std::string& tok, std::size_t& out) {
+  if (tok.empty() || tok.size() > 9) return false;
+  for (char c : tok)
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return out > 0;
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+  Armed a;
+  std::string arg;
+  const std::size_t c1 = spec.find(':');
+  a.point = spec.substr(0, c1);
+  if (c1 != std::string::npos) {
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    arg = spec.substr(c1 + 1, c2 == std::string::npos ? c2 : c2 - c1 - 1);
+    std::string action = c2 == std::string::npos ? "" : spec.substr(c2 + 1);
+    // Both arg and action are optional: in the two-token form "point:x", a
+    // reserved action name is the action ("before_variant:throw"), anything
+    // else is the arg ("after_variant:3").
+    if (action.empty() && (arg == "kill" || arg == "throw" || arg == "throw_once")) {
+      action = arg;
+      arg.clear();
+    }
+    if (action == "throw") {
+      a.action = Action::kThrow;
+    } else if (action == "throw_once") {
+      a.action = Action::kThrowOnce;
+    } else if (!action.empty() && action != "kill") {
+      throw std::invalid_argument("fault spec \"" + spec +
+                                  "\": unknown action (kill | throw | throw_once)");
+    }
+  }
+  if (a.point.empty())
+    throw std::invalid_argument("fault spec \"" + spec + "\": empty fault-point name");
+  // A numeric arg doubles as a hit ordinal (counted points) *and* a detail
+  // string (detail points like variant_run, whose details are indices) —
+  // a given point name only ever uses one hit style, so this stays
+  // unambiguous. An absent arg means "first hit" for counted points and
+  // never matches a detail point.
+  if (arg.empty()) {
+    a.ordinal = 1;
+  } else if (parse_ordinal(arg, a.ordinal)) {
+    a.detail = arg;
+  } else {
+    a.ordinal = 0;
+    a.detail = arg;
+  }
+  std::scoped_lock lock(g_mutex);
+  g_armed.push_back(std::move(a));
+  g_any.store(true, std::memory_order_relaxed);
+}
+
+void arm_from_env(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || *value == '\0') return;
+  std::string specs(value);
+  std::size_t pos = 0;
+  while (pos <= specs.size()) {
+    const std::size_t comma = std::min(specs.find(',', pos), specs.size());
+    if (comma > pos) arm(specs.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+void disarm_all() {
+  std::scoped_lock lock(g_mutex);
+  g_armed.clear();
+  g_any.store(false, std::memory_order_relaxed);
+}
+
+bool any_armed() { return g_any.load(std::memory_order_relaxed); }
+
+void hit(const char* point) {
+  if (!any_armed()) return;
+  std::scoped_lock lock(g_mutex);
+  for (auto& a : g_armed) {
+    if (a.spent || a.ordinal == 0 || a.point != point) continue;
+    if (++a.hits == a.ordinal) fire(a);
+  }
+}
+
+void hit(const char* point, std::string_view detail) {
+  if (!any_armed()) return;
+  std::scoped_lock lock(g_mutex);
+  for (auto& a : g_armed) {
+    if (a.spent || a.point != point) continue;
+    if (a.detail == detail) fire(a);
+  }
+}
+
+}  // namespace airfedga::util::fault

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace airfedga::util::fault {
+
+/// Deterministic fault injection for crash-safety testing.
+///
+/// Code under test declares named *fault points* by calling `hit()`; the
+/// test (or CI) *arms* one or more fault specs, and when an armed spec
+/// matches a hit the configured action fires. Nothing is armed in normal
+/// operation, so a hit is a single relaxed atomic load.
+///
+/// Spec grammar: `point[:arg][:action]`
+///   - `point`  — the fault-point name passed to hit().
+///   - `arg`    — for counted points (hit(point)): the 1-based hit ordinal
+///                that fires, default 1 (`after_variant:3` fires on the
+///                third completed variant). For detail points
+///                (hit(point, detail)): the string the detail must equal
+///                (`mid_write:results` fires inside the results writer; a
+///                numeric arg also matches numeric details, e.g.
+///                `variant_run:1` fires on variant index 1). A point name
+///                only ever uses one hit style, so this is unambiguous.
+///   - `action` — `kill` (default): terminate the process immediately via
+///                std::_Exit(kKillExitCode) — no stream flush, no
+///                destructors, simulating a crash mid-operation.
+///                `throw`: throw InjectedFault on every match.
+///                `throw_once`: throw InjectedFault on the first match,
+///                then disarm (transient failures, e.g. retry tests).
+///
+/// Multiple specs may be armed (repeat --fault, or comma-separate them in
+/// the AIRFEDGA_FAULT environment variable).
+
+/// Exit code of the `kill` action; distinctive so tests and CI can assert
+/// the crash was the injected one and not a real failure.
+inline constexpr int kKillExitCode = 86;
+
+/// Thrown by the `throw` / `throw_once` actions.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses and activates one fault spec; throws std::invalid_argument with
+/// the offending spec in the message when it does not parse.
+void arm(const std::string& spec);
+
+/// Arms every comma-separated spec in the environment variable (default
+/// AIRFEDGA_FAULT); a no-op when it is unset or empty.
+void arm_from_env(const char* var = "AIRFEDGA_FAULT");
+
+/// Deactivates every armed spec and resets hit counters (tests).
+void disarm_all();
+
+/// True when at least one spec is armed (one relaxed load — callers may
+/// use it to gate extra work such as splitting a write in two so a
+/// mid-write kill leaves a genuinely torn file).
+[[nodiscard]] bool any_armed();
+
+/// Counted fault point: the n-th call with a given `point` fires a spec
+/// armed with ordinal n. No-op when nothing matching is armed.
+void hit(const char* point);
+
+/// Detail fault point: fires every time an armed spec's arg equals
+/// `detail`. No-op when nothing matching is armed.
+void hit(const char* point, std::string_view detail);
+
+}  // namespace airfedga::util::fault

@@ -1,0 +1,172 @@
+// Tests for the checkpoint path examples/checkpoint_resume.cpp demonstrates:
+// train → Metrics::final_model() → save_parameters → load_parameters →
+// set_parameters → evaluate round-trips bitwise, and a damaged checkpoint
+// (truncated at *every* byte boundary, foreign magic, lying header) is
+// rejected with a clear error instead of a bad allocation or a silently
+// wrong model.
+
+#include "ml/model.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "fl/mechanisms.hpp"
+#include "ml/zoo.hpp"
+
+namespace airfedga::ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  static std::size_t next_id() {
+    static std::size_t id = 0;
+    return id++;
+  }
+  fs::path path;
+  TempDir() : path(fs::temp_directory_path() /
+                   ("airfedga_checkpoint_test_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(next_id()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsBitwise) {
+  TempDir dir;
+  // Deliberately awkward values: negative zero, denormal, and values with
+  // no short decimal form must all survive the trip untouched.
+  const std::vector<float> params = {0.0f, -0.0f, 1.0f / 3.0f, 1e-42f, -123456.78f, 42.0f};
+  const fs::path ckpt = dir.path / "params.bin";
+  save_parameters(ckpt.string(), params);
+  const std::vector<float> back = load_parameters(ckpt.string());
+  ASSERT_EQ(back.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // Bitwise, not value, equality: -0.0f == 0.0f would hide a swap.
+    std::uint32_t a = 0, b = 0;
+    std::memcpy(&a, &params[i], sizeof(a));
+    std::memcpy(&b, &back[i], sizeof(b));
+    EXPECT_EQ(a, b) << "param " << i;
+  }
+}
+
+TEST(Checkpoint, EmptyParameterVectorRoundTrips) {
+  TempDir dir;
+  const fs::path ckpt = dir.path / "empty.bin";
+  save_parameters(ckpt.string(), std::vector<float>{});
+  EXPECT_TRUE(load_parameters(ckpt.string()).empty());
+}
+
+// The example's full life cycle, shrunk to test size: train with Air-FedGA,
+// checkpoint the final global model, restore it into a fresh model in a
+// "new session", and verify the restored model evaluates identically to the
+// in-memory one.
+TEST(Checkpoint, TrainedModelResumesToIdenticalEvaluation) {
+  auto tt = data::make_mnist_like(120, 40, 17);
+  util::Rng rng(17);
+
+  fl::FLConfig cfg;
+  cfg.train = &tt.train;
+  cfg.test = &tt.test;
+  cfg.partition = data::partition_label_skew(tt.train, 6, rng);
+  cfg.model_factory = [] { return make_mlp(784, 10, 16); };
+  cfg.learning_rate = 0.5f;
+  cfg.batch_size = 0;
+  cfg.time_budget = 200.0;
+  cfg.max_rounds = 4;
+  cfg.eval_every = 2;
+  cfg.eval_samples = 40;
+  cfg.threads = 1;
+
+  fl::AirFedGA mechanism;
+  const fl::Metrics trained = mechanism.run(cfg);
+  ASSERT_FALSE(trained.final_model().empty());
+
+  TempDir dir;
+  const fs::path ckpt = dir.path / "model.bin";
+  save_parameters(ckpt.string(), trained.final_model());
+
+  Model live = cfg.model_factory();
+  live.set_parameters(trained.final_model());
+  const EvalResult want = live.evaluate(tt.test.xs, tt.test.ys);
+
+  Model resumed = cfg.model_factory();
+  resumed.set_parameters(load_parameters(ckpt.string()));
+  const EvalResult got = resumed.evaluate(tt.test.xs, tt.test.ys);
+  EXPECT_EQ(got.loss, want.loss);          // same bits in, same bits out
+  EXPECT_EQ(got.accuracy, want.accuracy);
+}
+
+// Crash-safety counterpart: a checkpoint cut at *any* byte boundary —
+// header or payload — must be rejected with a clear error, never parsed
+// into a short model or a giant allocation.
+TEST(Checkpoint, TruncationAtEveryByteIsRejected) {
+  TempDir dir;
+  const std::vector<float> params = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const fs::path ckpt = dir.path / "full.bin";
+  save_parameters(ckpt.string(), params);
+  const std::string full = read_file(ckpt);
+  ASSERT_EQ(full.size(), 4u + 8u + 5u * sizeof(float));  // magic + count + payload
+
+  const fs::path cut_path = dir.path / "cut.bin";
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    write_file(cut_path, full.substr(0, cut));
+    EXPECT_THROW(load_parameters(cut_path.string()), std::runtime_error)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(Checkpoint, ForeignFileIsRejectedByMagic) {
+  TempDir dir;
+  const fs::path bogus = dir.path / "bogus.bin";
+  write_file(bogus, "definitely not a checkpoint, but comfortably long enough");
+  EXPECT_THROW(load_parameters(bogus.string()), std::runtime_error);
+}
+
+TEST(Checkpoint, HeaderClaimingMoreFloatsThanTheFileHoldsIsRejected) {
+  TempDir dir;
+  const std::vector<float> params = {1.0f, 2.0f};
+  const fs::path ckpt = dir.path / "lying.bin";
+  save_parameters(ckpt.string(), params);
+  std::string bytes = read_file(ckpt);
+  // Rewrite the count field (bytes 4..12) to claim an absurd payload; the
+  // size check must catch the lie before any allocation happens.
+  const std::uint64_t absurd = 1ull << 40;
+  std::memcpy(bytes.data() + 4, &absurd, sizeof(absurd));
+  write_file(ckpt, bytes);
+  try {
+    load_parameters(ckpt.string());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated or corrupt"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, MissingFileFailsWithOpenError) {
+  EXPECT_THROW(load_parameters("/nonexistent/dir/model.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace airfedga::ml

@@ -25,6 +25,7 @@
 // (or directory studies) concurrently; results are exported in variant
 // order, so the output files are byte-stable for every N.
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,8 +34,10 @@
 
 #include "obs/trace.hpp"
 #include "scenario/cli.hpp"
+#include "scenario/manifest.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/runner.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -46,6 +49,7 @@ constexpr const char* kUsage = R"(airfedga_cli — declarative Air-FedGA scenari
 usage:
   airfedga_cli run <scenario.json|preset|->  [options]   run a scenario
   airfedga_cli run-dir <directory>           [options]   run every .json study in a directory
+  airfedga_cli merge <shard-dir>... --out=DIR            merge --shard farm directories
   airfedga_cli list                                      list registered presets
   airfedga_cli validate <scenario.json|->                check a spec, report all problems
   airfedga_cli dump <preset>                             print a preset's JSON to stdout
@@ -72,6 +76,32 @@ run / run-dir options:
                          trace-event JSON (default: <out-dir>/trace.json) plus a
                          per-phase wall-time report; tracing is read-only, so
                          digests match the untraced run bit for bit
+
+crash-safe farm options (run / run-dir without --append):
+  --resume               skip variants the out-dir's manifest records as done
+                         (with an intact stash); everything else re-runs. A
+                         resumed batch re-emits results.jsonl / summary.csv /
+                         points/* byte-identically to an uninterrupted run
+                         (use --no-timing for cross-run comparisons)
+  --retries=K            retry a throwing/timed-out variant up to K extra times
+                         (bounded exponential backoff) before quarantining it
+                         as failed; other variants keep running (exit 3)
+  --variant-timeout=S    wall-clock watchdog: cancel a variant attempt after S
+                         seconds (counts as a failed attempt)
+  --shard=i/N            run only variants with index mod N == i-1 (1-based);
+                         combine the shard out-dirs with `merge`
+  --no-progress          suppress per-variant progress/ETA lines on stderr
+  --fault=SPEC           arm a deterministic fault point (repeatable), e.g.
+                         --fault=after_variant:3 or --fault=mid_write:results;
+                         SPEC is point[:arg][:action], action kill (default,
+                         exit 86) | throw | throw_once. AIRFEDGA_FAULT in the
+                         environment arms comma-separated specs the same way.
+                         Testing/CI only — nothing fires when unarmed
+
+SIGINT/SIGTERM finish journalling in-flight variants and exit 130; the batch
+is then resumable with --resume. Exit codes: 0 ok, 1 determinism divergence,
+2 usage/setup error, 3 variants quarantined or merge incomplete, 130
+interrupted.
 
 Scenario files may carry a top-level "sweeps" object — a checked-in study:
   "sweeps": { "mechanisms.0.xi": [0.1, 0.3], "run.seed": [1, 2] }
@@ -101,9 +131,61 @@ void print_summary(const std::vector<scenario::ScenarioResult>& results) {
   t.print(std::cout);
 }
 
+/// Summary table from assembled farm records (the same rows print_summary
+/// derives from in-memory results; wall_s is absent under --no-timing).
+void print_record_summary(const std::vector<scenario::Json>& records) {
+  util::Table t({"scenario", "mechanism", "threads", "rounds", "virtual_s", "final_acc",
+                 "digest", "bit_identical", "wall_s"});
+  for (const auto& rec : records) {
+    const scenario::Json* bi = rec.find("bit_identical");
+    const scenario::Json* wall = rec.find("wall_seconds");
+    t.add_row({rec.at("scenario").as_string(), rec.at("mechanism").as_string(),
+               std::to_string(static_cast<std::size_t>(rec.at("threads").as_number())),
+               std::to_string(static_cast<std::size_t>(rec.at("rounds").as_number())),
+               util::Table::fmt(rec.at("virtual_seconds").as_number(), 0),
+               util::Table::fmt(rec.at("final_accuracy").as_number(), 4),
+               rec.at("digest").as_string(),
+               bi != nullptr ? (bi->as_bool() ? "yes" : "NO") : "-",
+               wall != nullptr ? util::Table::fmt(wall->as_number(), 2) : "-"});
+  }
+  t.print(std::cout);
+}
+
+/// Shared reporting/exit-code tail of the farm path (run/run-dir and merge).
+int report_farm(const scenario::cli::RunArgs& ra, const scenario::FarmResult& outcome) {
+  if (outcome.interrupted) {
+    std::fprintf(stderr,
+                 "airfedga_cli: interrupted — %zu variant(s) done, %zu failed; finish with "
+                 "--resume --out=%s\n",
+                 outcome.completed, outcome.failed, ra.out_dir.c_str());
+    return 130;
+  }
+  print_record_summary(outcome.records);
+  if (outcome.resumed_skips > 0)
+    std::printf("\nresume: skipped %zu already-done variant(s)\n", outcome.resumed_skips);
+  if (outcome.retries > 0) std::printf("retries: %zu extra attempt(s) spent\n", outcome.retries);
+  std::printf("\nwrote %s/results.jsonl, %s/summary.csv (schema v%d, manifest v%d)\n",
+              ra.out_dir.c_str(), ra.out_dir.c_str(), scenario::kResultsSchemaVersion,
+              scenario::kManifestVersion);
+  for (const auto& st : outcome.statuses)
+    if (st.state == scenario::VariantStatus::State::kFailed)
+      std::fprintf(stderr, "airfedga_cli: quarantined variant %zu %s after %zu attempt(s): %s\n",
+                   st.variant, st.name.c_str(), st.attempts, st.error.c_str());
+  if (!outcome.all_identical) {
+    std::fprintf(stderr,
+                 "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
+    return 1;
+  }
+  return outcome.failed > 0 ? 3 : 0;
+}
+
 /// Expands `sources` (scenario files/presets for run, directory studies for
 /// run-dir) into the full variant list, runs it (possibly --jobs-parallel),
 /// exports, and reports. Shared tail of cmd_run / cmd_run_dir.
+///
+/// Default path is the crash-safe farm (durable manifest + per-variant
+/// stashes, resumable); --append keeps the legacy accumulate-onto-existing
+/// writer, which the farm deliberately does not support.
 int run_variants(const scenario::cli::RunArgs& ra,
                  const std::vector<scenario::ScenarioSpec>& variants) {
   // Execution-only switch: obs::enable() changes what is *observed*, never
@@ -111,21 +193,40 @@ int run_variants(const scenario::cli::RunArgs& ra,
   // can opt in independently via run.trace.
   if (ra.trace) obs::enable();
 
-  scenario::BatchRunOptions batch;
-  batch.jobs = ra.jobs;
-  batch.threads = ra.threads;
-  const scenario::BatchRunResult outcome =
-      scenario::run_scenarios(variants, ra.overrides, batch);
-
-  const std::string git = scenario::git_version();
   scenario::WriteOptions wo;
   wo.append = ra.append;
   wo.timing = ra.timing;
-  scenario::write_results(ra.out_dir, outcome.results, git, wo);
-  print_summary(outcome.results);
-  std::printf("\nwrote %s/results.jsonl, %s/summary.csv (git %s, schema v%d)\n",
-              ra.out_dir.c_str(), ra.out_dir.c_str(), git.c_str(),
-              scenario::kResultsSchemaVersion);
+
+  int rc = 0;
+  if (ra.append) {
+    scenario::BatchRunOptions batch;
+    batch.jobs = ra.jobs;
+    batch.threads = ra.threads;
+    const scenario::BatchRunResult outcome =
+        scenario::run_scenarios(variants, ra.overrides, batch);
+    const std::string git = scenario::git_version();
+    scenario::write_results(ra.out_dir, outcome.results, git, wo);
+    print_summary(outcome.results);
+    std::printf("\nwrote %s/results.jsonl, %s/summary.csv (git %s, schema v%d)\n",
+                ra.out_dir.c_str(), ra.out_dir.c_str(), git.c_str(),
+                scenario::kResultsSchemaVersion);
+    if (!outcome.all_identical) {
+      std::fprintf(stderr,
+                   "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
+      rc = 1;
+    }
+  } else {
+    scenario::FarmOptions fo;
+    fo.jobs = ra.jobs;
+    fo.threads = ra.threads;
+    fo.retries = ra.retries;
+    fo.variant_timeout = ra.variant_timeout;
+    fo.resume = ra.resume;
+    fo.shard_index = ra.shard_index;
+    fo.shard_count = ra.shard_count;
+    fo.progress = ra.progress && variants.size() > 1;
+    rc = report_farm(ra, scenario::run_farm(variants, ra.out_dir, ra.overrides, fo, wo));
+  }
 
   // Trace flush: every Driver has joined its lane pool by now and the
   // global pool is idle, so the ring buffers are quiescent.
@@ -138,12 +239,7 @@ int run_variants(const scenario::cli::RunArgs& ra,
     std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n\n", path.c_str());
     obs::print_report(std::cout);
   }
-  if (!outcome.all_identical) {
-    std::fprintf(stderr,
-                 "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
-    return 1;
-  }
-  return 0;
+  return rc;
 }
 
 int cmd_run(const scenario::cli::RunArgs& ra) {
@@ -173,6 +269,35 @@ int cmd_run_dir(const scenario::cli::RunArgs& ra) {
     for (auto& v : expanded) variants.push_back(std::move(v));
   }
   return run_variants(ra, variants);
+}
+
+int cmd_merge(const scenario::cli::RunArgs& ra) {
+  if (ra.sources.empty())
+    return fail("merge: need at least one shard directory (a run --shard out-dir)");
+  scenario::WriteOptions wo;
+  wo.timing = ra.timing;
+  const scenario::FarmResult outcome = scenario::merge_results(ra.out_dir, ra.sources, wo);
+
+  std::size_t missing = 0;
+  for (const auto& st : outcome.statuses)
+    if (st.state != scenario::VariantStatus::State::kDone) ++missing;
+  print_record_summary(outcome.records);
+  std::printf("\nmerged %zu variant(s) from %zu shard dir(s) into %s\n", outcome.completed,
+              ra.sources.size(), ra.out_dir.c_str());
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "airfedga_cli: merge incomplete — %zu variant index(es) missing from every "
+                 "shard (a shard crashed or was not merged); the merged files cover only the "
+                 "present variants\n",
+                 missing);
+    return 3;
+  }
+  if (!outcome.all_identical) {
+    std::fprintf(stderr,
+                 "airfedga_cli: determinism violation — metrics diverged across lane counts\n");
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_list() {
@@ -212,6 +337,12 @@ int cmd_dump(const std::string& name) {
   return 0;
 }
 
+// SIGINT/SIGTERM request a cooperative farm stop: in-flight variants cancel
+// at their next event, the manifest keeps its journalled state, and main
+// exits 130 so the batch can be finished with --resume. A store to an
+// atomic flag is all the handler does (async-signal-safe).
+extern "C" void handle_stop_signal(int) { scenario::farm_request_stop(); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,8 +356,18 @@ int main(int argc, char** argv) {
     const std::string cmd = args[0];
     std::vector<std::string> rest(args.begin() + 1, args.end());
 
-    if (cmd == "run") return cmd_run(scenario::cli::parse_run_args(rest));
-    if (cmd == "run-dir") return cmd_run_dir(scenario::cli::parse_run_args(rest));
+    // Deterministic fault injection (testing/CI): nothing fires unless a
+    // spec is armed via the environment or --fault.
+    util::fault::arm_from_env();
+
+    if (cmd == "run" || cmd == "run-dir") {
+      const scenario::cli::RunArgs ra = scenario::cli::parse_run_args(rest);
+      for (const auto& spec : ra.faults) util::fault::arm(spec);
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+      return cmd == "run" ? cmd_run(ra) : cmd_run_dir(ra);
+    }
+    if (cmd == "merge") return cmd_merge(scenario::cli::parse_run_args(rest));
     if (cmd == "list") {
       if (!rest.empty()) return fail("list: takes no arguments");
       return cmd_list();
@@ -240,7 +381,7 @@ int main(int argc, char** argv) {
       return cmd_dump(rest[0]);
     }
     return fail("unknown command \"" + cmd +
-                "\" (run | run-dir | list | validate | dump; see --help)");
+                "\" (run | run-dir | merge | list | validate | dump; see --help)");
   } catch (const std::exception& e) {
     return fail(e.what());
   }
